@@ -1,0 +1,124 @@
+// Coexistence experiment — §4.1's claim:
+//   "Wi-LE does not interfere with the normal operation of WiFi networks."
+//
+// A Wi-LE sensor shares the channel with an ordinary WiFi transfer
+// (1500-byte unicast data frames through CSMA). We sweep the background
+// offered load and measure, over 60 s:
+//   (a) the background network's throughput with and without the Wi-LE
+//       device present — the interference the paper claims is negligible;
+//   (b) the Wi-LE delivery ratio — how the sensor fares on a busy channel,
+//       with CSMA injection vs. raw (carrier-blind) injection.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "sim/airtime_monitor.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/traffic.hpp"
+#include "wile/receiver.hpp"
+#include "wile/sender.hpp"
+
+using namespace wile;
+
+namespace {
+
+struct RunResult {
+  double background_mbps = 0.0;
+  double wile_delivery_pct = 0.0;
+  std::uint64_t wile_expected = 0;
+  double channel_busy_pct = 0.0;
+};
+
+RunResult run(double background_fps, bool with_wile, bool wile_csma) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{5}};
+
+  // Background transfer: source at (0,0), sink at (3,0).
+  sim::TrafficConfig traffic_cfg;
+  traffic_cfg.frames_per_second = background_fps;
+  sim::TrafficSink sink{scheduler, medium, {3, 0}, traffic_cfg.sink_mac};
+  std::optional<sim::TrafficSource> source;
+  if (background_fps > 0) {
+    source.emplace(scheduler, medium, sim::Position{0, 0}, traffic_cfg, Rng{6});
+    source->start();
+  }
+
+  // The Wi-LE sensor + monitor, in carrier-sense range of the transfer.
+  core::Receiver monitor{scheduler, medium, {1.5, 2}};
+  sim::AirtimeMonitor occupancy{scheduler, medium, {1.5, 2.1}};
+  std::unique_ptr<core::Sender> sensor;
+  std::uint64_t wile_cycles = 0;
+  if (with_wile) {
+    core::SenderConfig cfg;
+    cfg.device_id = 1;
+    cfg.period = msec(500);  // aggressive 2 Hz reporting
+    cfg.use_csma = wile_csma;
+    sensor = std::make_unique<core::Sender>(scheduler, medium, sim::Position{1.5, 1},
+                                            cfg, Rng{7});
+    sensor->start_duty_cycle([&wile_cycles] {
+      ++wile_cycles;
+      return Bytes(16, 0x42);
+    });
+  }
+
+  constexpr auto kDurationS = 60;
+  scheduler.run_until(TimePoint{seconds(kDurationS)});
+  if (source) source->stop();
+  if (sensor) sensor->stop_duty_cycle();
+
+  RunResult out;
+  out.channel_busy_pct = 100.0 * occupancy.busy_fraction();
+  out.background_mbps =
+      static_cast<double>(sink.bytes_received()) * 8.0 / (kDurationS * 1e6);
+  out.wile_expected = wile_cycles;
+  out.wile_delivery_pct =
+      wile_cycles > 0 ? 100.0 * static_cast<double>(monitor.stats().messages) /
+                            static_cast<double>(wile_cycles)
+                      : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== coexistence: Wi-LE on a busy channel (§4.1) ===\n");
+  std::printf("(60 s, background = 1500 B unicast frames at MCS7 through CSMA; Wi-LE "
+              "sensor beacons at 2 Hz)\n\n");
+  std::printf("  %-10s | %-22s | %-12s | %-10s | %-14s | %-14s\n", "load (f/s)",
+              "bg throughput (Mbit/s)", "impact", "ch busy", "Wi-LE (CSMA)",
+              "Wi-LE (raw)");
+  std::printf("  -----------+------------------------+--------------+------------+--------"
+              "--------+----------------\n");
+
+  bool ok = true;
+  double wile_only_busy_pct = 0.0;
+  for (double fps : {0.0, 100.0, 400.0, 800.0, 1500.0}) {
+    const RunResult baseline = run(fps, /*with_wile=*/false, false);
+    const RunResult with_csma = run(fps, /*with_wile=*/true, /*wile_csma=*/true);
+    const RunResult with_raw = run(fps, /*with_wile=*/true, /*wile_csma=*/false);
+    if (fps == 0.0) wile_only_busy_pct = with_csma.channel_busy_pct;
+    const double impact_pct =
+        baseline.background_mbps > 0
+            ? 100.0 * (baseline.background_mbps - with_csma.background_mbps) /
+                  baseline.background_mbps
+            : 0.0;
+    std::printf("  %-10.0f | %10.2f -> %7.2f | %+10.1f%% | %9.2f%% | %12.1f%% | %12.1f%%\n",
+                fps, baseline.background_mbps, with_csma.background_mbps, impact_pct,
+                with_csma.channel_busy_pct, with_csma.wile_delivery_pct,
+                with_raw.wile_delivery_pct);
+    // The §4.1 claim: adding the Wi-LE device costs the network at most a
+    // couple percent of throughput (its beacons occupy ~0.01% airtime).
+    if (fps > 0 && impact_pct > 3.0) ok = false;
+    // And the polite injector keeps delivering even on a busy channel.
+    if (with_csma.wile_delivery_pct < 95.0) ok = false;
+  }
+
+  std::printf("\n  measured: the 2 Hz Wi-LE sensor alone occupies %.3f%% of airtime; CSMA "
+              "injection rides idle gaps, so both the network and the sensor keep "
+              "working. Raw injection degrades with load — the cost of the cheapest "
+              "firmware.\n",
+              wile_only_busy_pct);
+  std::printf("\n  shape %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

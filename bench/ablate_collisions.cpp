@@ -1,0 +1,109 @@
+// Experiment E7 — §6 "Network of IoT devices":
+//   "The possibility of concurrent transmissions from multiple devices
+//    and the mitigation mechanism need to be studied. We believe that if
+//    two devices happen to transmit at the same time and they have the
+//    same transmission period, their transmissions will automatically
+//    differ away from each other due to the jitter of their clocks."
+//
+// Sweeps the device count and measures delivery ratio at a monitor for
+// three designs: raw injection with perfectly synchronised clocks (worst
+// case), raw injection with realistic clock jitter (the paper's
+// hypothesis), and CSMA-deferred injection (what real chipsets do).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "wile/receiver.hpp"
+#include "wile/sender.hpp"
+
+using namespace wile;
+
+namespace {
+
+struct Result {
+  std::uint64_t delivered = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t collisions = 0;
+};
+
+Result run(int n_devices, bool jitter, bool csma, std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{seed}};
+  core::Receiver monitor{scheduler, medium, {0, 3}};
+
+  Rng seeder{seed + 1};
+  std::vector<std::unique_ptr<core::Sender>> senders;
+  std::uint64_t cycles = 0;
+  constexpr int kRounds = 60;
+  const Duration period = seconds(2);
+
+  for (int i = 0; i < n_devices; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = 1 + i;
+    cfg.period = period;
+    cfg.use_csma = csma;
+    if (jitter) {
+      cfg.clock_ppm_error = static_cast<double>(seeder.range(-40, 40));  // real XTALs
+      cfg.wake_jitter = msec(3);
+    }
+    senders.push_back(std::make_unique<core::Sender>(
+        scheduler, medium,
+        sim::Position{static_cast<double>(i % 4), static_cast<double>(i / 4)}, cfg,
+        seeder.fork()));
+    senders.back()->start_duty_cycle([&cycles] {
+      ++cycles;
+      return Bytes{0x17};
+    });
+  }
+  scheduler.run_until(TimePoint{period * (kRounds + 1) - msec(500)});
+  for (auto& s : senders) s->stop_duty_cycle();
+  scheduler.run_until(scheduler.now() + seconds(2));
+
+  Result r;
+  r.delivered = monitor.stats().messages;
+  r.expected = cycles;
+  r.collisions = monitor.stats().collisions_observed;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E7: multi-device collisions — jitter and carrier sense ===\n");
+  std::printf("(delivery ratio at a monitor; %s)\n\n",
+              "period 2 s, 60 rounds, devices within carrier-sense range");
+  std::printf("  %-8s | %-22s | %-22s | %-22s\n", "devices", "synced, raw inject",
+              "jittered, raw inject", "CSMA inject");
+  std::printf("  ---------+------------------------+------------------------+--------------"
+              "----------\n");
+
+  bool hypothesis_holds = true;
+  for (int n : {1, 2, 3, 5, 8, 12}) {
+    const Result synced = run(n, /*jitter=*/false, /*csma=*/false, 100 + n);
+    const Result jittered = run(n, /*jitter=*/true, /*csma=*/false, 200 + n);
+    const Result csma = run(n, /*jitter=*/false, /*csma=*/true, 300 + n);
+    auto ratio = [](const Result& r) {
+      return r.expected > 0
+                 ? 100.0 * static_cast<double>(r.delivered) / static_cast<double>(r.expected)
+                 : 0.0;
+    };
+    std::printf("  %-8d | %6.1f%% (%4llu coll.)  | %6.1f%% (%4llu coll.)  | %6.1f%% (%4llu "
+                "coll.)\n",
+                n, ratio(synced), static_cast<unsigned long long>(synced.collisions),
+                ratio(jittered), static_cast<unsigned long long>(jittered.collisions),
+                ratio(csma), static_cast<unsigned long long>(csma.collisions));
+    if (n > 1) {
+      // The paper's hypothesis: jitter rescues co-periodic devices.
+      if (ratio(jittered) < ratio(synced) + 30.0) hypothesis_holds = false;
+    }
+  }
+
+  std::printf("\n  paper's hypothesis (clock jitter de-synchronises co-periodic devices): "
+              "%s\n",
+              hypothesis_holds ? "SUPPORTED" : "NOT SUPPORTED");
+  std::printf("  note: CSMA injection resolves contention at slightly higher firmware "
+              "complexity — the trade §6 leaves open.\n");
+  return hypothesis_holds ? 0 : 1;
+}

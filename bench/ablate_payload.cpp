@@ -1,0 +1,99 @@
+// Experiment E9 — §4.1 payload capacity and §5.4 rate choice:
+//   the vendor-specific element carries up to ~253 bytes, larger
+//   messages fragment across beacons, and the 72 Mbps HT rate minimises
+//   on-air time (hence TX energy) at BLE-class range.
+//
+// Part 1 sweeps the message size (1 B .. 2 KiB) at 72 Mbps and reports
+// beacons used, total airtime, TX-only energy and energy per payload
+// byte. Part 2 fixes a 64-byte message and sweeps the PHY rate, showing
+// why the paper transmits at 72 Mbps.
+#include <cstdio>
+#include <optional>
+
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "wile/receiver.hpp"
+#include "wile/sender.hpp"
+
+using namespace wile;
+
+namespace {
+
+struct SweepResult {
+  int beacons = 0;
+  double airtime_us = 0.0;
+  double tx_energy_uj = 0.0;
+  bool delivered = false;
+};
+
+SweepResult run(std::size_t payload_bytes, phy::WifiRate rate) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  core::SenderConfig cfg;
+  cfg.rate = rate;
+  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
+  core::Receiver monitor{scheduler, medium, {2, 0}};
+
+  Rng data_rng{payload_bytes};
+  Bytes payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(data_rng.below(256));
+
+  bool delivered = false;
+  monitor.set_message_callback([&](const core::Message& m, const core::RxMeta&) {
+    delivered = m.data == payload;
+  });
+
+  std::optional<core::SendReport> report;
+  sender.send_now(payload, [&](const core::SendReport& r) { report = r; });
+  scheduler.run_until_idle();
+
+  SweepResult out;
+  out.beacons = report->beacons_sent;
+  out.airtime_us = to_seconds(report->tx_airtime) * 1e6;
+  out.tx_energy_uj = in_microjoules(report->tx_only_energy);
+  out.delivered = delivered;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E9: payload size and bitrate ablations ===\n\n");
+
+  std::printf("-- message size sweep at 72 Mbps --\n");
+  std::printf("  %-8s %8s %12s %12s %14s %10s\n", "bytes", "beacons", "airtime_us",
+              "tx_uJ", "nJ_per_byte", "delivered");
+  bool all_ok = true;
+  for (std::size_t size : {1u, 16u, 64u, 128u, 235u, 236u, 500u, 1024u, 2048u}) {
+    const SweepResult r = run(size, phy::WifiRate::Mcs7Sgi);
+    std::printf("  %-8zu %8d %12.1f %12.1f %14.1f %10s\n", size, r.beacons, r.airtime_us,
+                r.tx_energy_uj, 1000.0 * r.tx_energy_uj / static_cast<double>(size),
+                r.delivered ? "yes" : "NO");
+    all_ok = all_ok && r.delivered;
+  }
+  std::printf("  (fragmentation kicks in past the single-element capacity of 235 B;\n"
+              "   per-byte cost falls with size until the per-beacon overhead amortises)\n");
+
+  std::printf("\n-- rate sweep for a 64-byte message --\n");
+  std::printf("  %-8s %8s %12s %12s %10s\n", "rate", "beacons", "airtime_us", "tx_uJ",
+              "delivered");
+  double e_1m = 0.0, e_72m = 0.0;
+  for (phy::WifiRate rate : {phy::WifiRate::B1, phy::WifiRate::B11, phy::WifiRate::G6,
+                             phy::WifiRate::G24, phy::WifiRate::G54, phy::WifiRate::Mcs7,
+                             phy::WifiRate::Mcs7Sgi}) {
+    const SweepResult r = run(64, rate);
+    const auto& info = phy::rate_info(rate);
+    if (rate == phy::WifiRate::B1) e_1m = r.tx_energy_uj;
+    if (rate == phy::WifiRate::Mcs7Sgi) e_72m = r.tx_energy_uj;
+    std::printf("  %-8s %8d %12.1f %12.1f %10s\n", std::string(info.name).c_str(),
+                r.beacons, r.airtime_us, r.tx_energy_uj, r.delivered ? "yes" : "NO");
+    all_ok = all_ok && r.delivered;
+  }
+  std::printf("\n  72 Mbps vs 1 Mbps TX energy: %.1fx cheaper — the \"WiFi is efficient "
+              "at the physical layer\" premise of §1, and why §5.4 injects at 72 Mbps.\n",
+              e_1m / e_72m);
+
+  const bool ok = all_ok && e_1m / e_72m > 5.0;
+  std::printf("\n  shape %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Experiment E10 — the WiFi-PS design point (§5.3):
+//   "the WiFi chip wakes up only for every third beacon frame"
+//
+// Sweeps the listen interval (wake for every Nth beacon) and measures
+// the PS idle current from the simulated station, then shows the effect
+// on Eq.-(1) average power at a 1-minute transmission interval. This is
+// the knob that trades downlink latency for idle power — and the bench
+// shows why even the most aggressive setting stays ~3 orders of
+// magnitude above Wi-LE's deep-sleep idle.
+#include <cstdio>
+#include <optional>
+
+#include "ap/access_point.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "sta/station.hpp"
+
+using namespace wile;
+
+namespace {
+
+struct SkipResult {
+  bool ok = false;
+  double idle_ua = 0.0;
+  double beacons_per_min = 0.0;
+};
+
+SkipResult run(int listen_skip) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  ap::AccessPointConfig ap_cfg;
+  ap::AccessPoint ap{scheduler, medium, {0, 0}, ap_cfg, Rng{10}};
+  ap.start();
+  sta::StationConfig sta_cfg;
+  sta_cfg.listen_skip = listen_skip;
+  sta::Station sta{scheduler, medium, {3, 0}, sta_cfg, Rng{20}};
+
+  bool ready = false;
+  sta.connect_and_enter_power_save([&](bool ok) { ready = ok; });
+  scheduler.run_until(TimePoint{seconds(10)});
+  if (!ready) return {};
+
+  const TimePoint from = scheduler.now();
+  const auto beacons_before = sta.stats().beacons_heard;
+  scheduler.run_until(from + minutes(2));
+  const Watts avg = sta.timeline().average_power(from, scheduler.now());
+
+  SkipResult r;
+  r.ok = true;
+  r.idle_ua = in_microamps(avg / sta_cfg.power.supply);
+  r.beacons_per_min =
+      static_cast<double>(sta.stats().beacons_heard - beacons_before) / 2.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10: WiFi-PS listen-interval ablation ===\n\n");
+  std::printf("  %-12s | %12s | %14s | %20s\n", "listen_skip", "idle_uA",
+              "beacons/min", "Pavg @ 1 min (mW)");
+  std::printf("  -------------+--------------+----------------+---------------------\n");
+
+  const Joules e_tx = millijoules(19.9);  // PS transmission cost (Table 1 bench)
+  const Duration t_tx = msec(150);
+
+  double idle_skip1 = 0.0, idle_skip10 = 0.0;
+  bool skip3_near_paper = false;
+  for (int skip : {1, 2, 3, 5, 10}) {
+    const SkipResult r = run(skip);
+    if (!r.ok) {
+      std::printf("  %-12d | association failed\n", skip);
+      continue;
+    }
+    const Watts p_idle = microwatts(r.idle_ua * 3.3);
+    const Watts p_avg = power::duty_cycle_average_power(e_tx / t_tx, t_tx, p_idle, minutes(1));
+    std::printf("  %-12d | %12.1f | %14.1f | %20.3f\n", skip, r.idle_ua,
+                r.beacons_per_min, in_milliwatts(p_avg));
+    if (skip == 1) idle_skip1 = r.idle_ua;
+    if (skip == 10) idle_skip10 = r.idle_ua;
+    if (skip == 3 && r.idle_ua > 3800 && r.idle_ua < 5200) skip3_near_paper = true;
+  }
+
+  std::printf("\n  paper's configuration (skip=3) gives ~4500 uA (Table 1): %s\n",
+              skip3_near_paper ? "reproduced" : "NOT reproduced");
+  std::printf("  even skip=10 idles ~%.0fx above Wi-LE's 2.5 uA deep sleep — maintaining "
+              "an association costs orders of magnitude regardless of the knob.\n",
+              idle_skip10 / 2.5);
+
+  const bool ok = skip3_near_paper && idle_skip1 > idle_skip10;
+  std::printf("\n  shape %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// the Wi-LE payload codec, the 802.11 frame codec, the crypto
+// primitives, and the discrete-event simulator core.
+//
+// These are not paper experiments; they document the cost of the
+// building blocks so downstream users can budget for them (e.g. a
+// gateway decoding thousands of Wi-LE beacons per second).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes_modes.hpp"
+#include "crypto/pbkdf2.hpp"
+#include "crypto/sha1.hpp"
+#include "dot11/frame.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "wile/codec.hpp"
+
+using namespace wile;
+
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+void BM_WileEncode(benchmark::State& state) {
+  core::Codec codec;
+  core::Message msg;
+  msg.device_id = 7;
+  msg.data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    msg.sequence++;
+    benchmark::DoNotOptimize(codec.encode(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WileEncode)->Arg(16)->Arg(235)->Arg(1024);
+
+void BM_WileDecode(benchmark::State& state) {
+  core::Codec codec;
+  core::Message msg;
+  msg.device_id = 7;
+  msg.data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  const auto ies = codec.encode(msg);
+  for (auto _ : state) {
+    for (const auto& ie : ies) benchmark::DoNotOptimize(codec.decode(ie));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WileDecode)->Arg(16)->Arg(235)->Arg(1024);
+
+void BM_WileEncodeEncrypted(benchmark::State& state) {
+  core::Codec codec{Bytes(16, 0x42)};
+  core::Message msg;
+  msg.device_id = 7;
+  msg.data = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    msg.sequence++;
+    benchmark::DoNotOptimize(codec.encode(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WileEncodeEncrypted)->Arg(16)->Arg(227);
+
+void BM_BeaconAssembleParse(benchmark::State& state) {
+  dot11::Beacon beacon;
+  beacon.ies.add(dot11::make_ssid_ie(""));
+  beacon.ies.add(dot11::make_supported_rates_ie(dot11::default_bg_rates()));
+  beacon.ies.add(dot11::make_ds_param_ie(6));
+  const Bytes body = beacon.encode();
+  const MacAddress mac = MacAddress::from_seed(1);
+  for (auto _ : state) {
+    const Bytes mpdu =
+        dot11::build_mgmt_mpdu(dot11::MgmtSubtype::Beacon, MacAddress::broadcast(), mac,
+                               mac, 1, body);
+    benchmark::DoNotOptimize(dot11::parse_mpdu(mpdu));
+  }
+}
+BENCHMARK(BM_BeaconAssembleParse);
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AesCtr(benchmark::State& state) {
+  crypto::Aes128 aes{Bytes(16, 0x11)};
+  std::array<std::uint8_t, 12> nonce{};
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_ctr(aes, nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(1024);
+
+void BM_Wpa2PskDerivation(benchmark::State& state) {
+  // 4096 PBKDF2 iterations — the cost the ESP32 caches in NVS.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::wpa2_psk("hotnets2019", "GoogleWifi"));
+  }
+}
+BENCHMARK(BM_Wpa2PskDerivation)->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      scheduler.schedule_in(usec(i), [&fired] { ++fired; });
+    }
+    scheduler.run_until_idle();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// BLE advertising — the closest BLE analogue of Wi-LE's beacon trick.
+//
+// A non-connectable advertiser (ADV_NONCONN_IND) broadcasts its payload
+// on the three advertising channels each event; any scanner can read it
+// without a connection — exactly the interaction model Wi-LE builds on
+// WiFi. Implemented with the real PDU format (pdu.hpp) and the CC2541
+// power phases, so the library can answer the natural follow-up
+// question the paper leaves open: how does Wi-LE compare to *BLE
+// beacons*, not just to connection-oriented BLE? (bench/ablate_beacon_modes)
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ble/pdu.hpp"
+#include "phy/ble_phy.hpp"
+#include "power/devices.hpp"
+#include "power/timeline.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wile::ble {
+
+struct BleAdvertiserConfig {
+  MacAddress address = MacAddress::from_seed(0xAD7);
+  Duration adv_interval = seconds(1);
+  /// Advertising channels used per event (1..3; standard events use 3).
+  int channels = 3;
+  /// Radio retune time between the per-channel transmissions.
+  Duration channel_hop_time = usec(400);
+  double tx_power_dbm = 0.0;
+  power::Cc2541PowerProfile power{};
+};
+
+struct AdvEventReport {
+  TimePoint wake_time{};
+  TimePoint sleep_time{};
+  Joules energy{};
+  Duration active_time{};
+  int pdus_sent = 0;
+};
+
+class BleAdvertiser : public sim::MediumClient {
+ public:
+  BleAdvertiser(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+                BleAdvertiserConfig config);
+
+  using PayloadProvider = std::function<Bytes()>;  // <= 31 bytes AdvData
+  using EventCallback = std::function<void(const AdvEventReport&)>;
+
+  /// Begin periodic advertising; `provider` supplies each event's AdvData.
+  void start(PayloadProvider provider, EventCallback per_event = {});
+  void stop();
+
+  /// One-shot advertising event.
+  void advertise_once(Bytes adv_data, EventCallback done);
+
+  [[nodiscard]] const power::PowerTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] std::uint64_t events_run() const { return events_; }
+
+  void on_frame(const sim::RxFrame&) override {}  // transmit-only role
+  [[nodiscard]] bool rx_enabled() const override { return false; }
+
+ private:
+  void schedule_event_loop();
+  void run_event(Bytes adv_data, EventCallback done);
+  void transmit_channel(int index, Bytes adv_data, EventCallback done);
+  void finish_event(EventCallback done, int pdus);
+
+  sim::Scheduler& scheduler_;
+  sim::Medium& medium_;
+  BleAdvertiserConfig config_;
+  sim::NodeId node_id_;
+  power::PowerTimeline timeline_;
+
+  bool running_ = false;
+  std::uint64_t events_ = 0;
+  TimePoint wake_time_{};
+  PayloadProvider provider_;
+  EventCallback per_event_;
+};
+
+/// A mains-powered scanner collecting advertising PDUs (the phone/base
+/// station of the BLE-beacon deployment). Listens continuously; our
+/// single-medium model means it hears every channel, which is the
+/// best-case scanner (energy on the advertiser side is unaffected).
+class BleScanner : public sim::MediumClient {
+ public:
+  BleScanner(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position);
+
+  using AdvCallback = std::function<void(const AdvertisingPdu&, double rssi_dbm)>;
+  void set_callback(AdvCallback cb) { callback_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t pdus_received() const { return received_; }
+  [[nodiscard]] std::uint64_t crc_failures() const { return crc_failures_; }
+
+  void on_frame(const sim::RxFrame& frame) override;
+  [[nodiscard]] bool rx_enabled() const override { return true; }
+
+ private:
+  sim::NodeId node_id_;
+  AdvCallback callback_;
+  std::uint64_t received_ = 0;
+  std::uint64_t crc_failures_ = 0;
+};
+
+}  // namespace wile::ble

@@ -1,0 +1,119 @@
+#include "ble/pdu.hpp"
+
+#include "crypto/crc.hpp"
+
+namespace wile::ble {
+
+Bytes AdvertisingPdu::encode() const {
+  if (adv_data.size() > 31) throw std::invalid_argument("AdvData exceeds 31 bytes");
+  ByteWriter w(2 + 6 + adv_data.size());
+  std::uint8_t h0 = static_cast<std::uint8_t>(type) & 0x0f;
+  if (tx_add_random) h0 |= 0x40;  // TxAdd
+  w.u8(h0);
+  w.u8(static_cast<std::uint8_t>(6 + adv_data.size()));  // length
+  // AdvA is transmitted LSB first (little-endian byte order).
+  const auto& mac = advertiser.octets();
+  for (int i = 5; i >= 0; --i) w.u8(mac[i]);
+  w.bytes(adv_data);
+  return w.take();
+}
+
+std::optional<AdvertisingPdu> AdvertisingPdu::decode(BytesView pdu) {
+  if (pdu.size() < 8) return std::nullopt;
+  AdvertisingPdu out;
+  out.type = static_cast<AdvPduType>(pdu[0] & 0x0f);
+  out.tx_add_random = (pdu[0] & 0x40) != 0;
+  const std::size_t len = pdu[1] & 0x3f;
+  if (len < 6 || pdu.size() < 2 + len) return std::nullopt;
+  std::array<std::uint8_t, 6> mac{};
+  for (int i = 0; i < 6; ++i) mac[5 - i] = pdu[2 + i];
+  out.advertiser = MacAddress{mac};
+  out.adv_data.assign(pdu.begin() + 8, pdu.begin() + 2 + len);
+  return out;
+}
+
+Bytes DataPdu::encode() const {
+  if (payload.size() > 27) throw std::invalid_argument("Data PDU payload exceeds 27 bytes");
+  ByteWriter w(2 + payload.size());
+  std::uint8_t h0 = static_cast<std::uint8_t>(llid) & 0x03;
+  if (nesn) h0 |= 0x04;
+  if (sn) h0 |= 0x08;
+  if (more_data) h0 |= 0x10;
+  w.u8(h0);
+  w.u8(static_cast<std::uint8_t>(payload.size()));
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<DataPdu> DataPdu::decode(BytesView pdu) {
+  if (pdu.size() < 2) return std::nullopt;
+  DataPdu out;
+  out.llid = static_cast<Llid>(pdu[0] & 0x03);
+  out.nesn = (pdu[0] & 0x04) != 0;
+  out.sn = (pdu[0] & 0x08) != 0;
+  out.more_data = (pdu[0] & 0x10) != 0;
+  const std::size_t len = pdu[1] & 0x1f;
+  if (pdu.size() < 2 + len) return std::nullopt;
+  out.payload.assign(pdu.begin() + 2, pdu.begin() + 2 + len);
+  return out;
+}
+
+DataPdu DataPdu::empty_poll(bool nesn, bool sn) {
+  DataPdu p;
+  p.llid = Llid::Continuation;
+  p.nesn = nesn;
+  p.sn = sn;
+  return p;
+}
+
+void whiten(std::uint8_t channel, std::uint8_t* data, std::size_t len) {
+  // 7-bit LFSR, position 6 initialised to 1, positions 5..0 to the
+  // channel index; polynomial x^7 + x^4 + 1, applied bit 0 first.
+  std::uint8_t lfsr = static_cast<std::uint8_t>(0x40 | (channel & 0x3f));
+  for (std::size_t i = 0; i < len; ++i) {
+    std::uint8_t byte = data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      const std::uint8_t white = (lfsr >> 6) & 1;
+      byte = static_cast<std::uint8_t>(byte ^ (white << bit));
+      // Advance the LFSR: feedback from position 6 into positions 0 and 4.
+      const std::uint8_t fb = (lfsr >> 6) & 1;
+      lfsr = static_cast<std::uint8_t>((lfsr << 1) & 0x7f);
+      if (fb) lfsr ^= 0x11;  // taps at x^4 and x^0
+    }
+    data[i] = byte;
+  }
+}
+
+Bytes assemble_air_packet(std::uint32_t access_address, BytesView pdu, std::uint8_t channel,
+                          std::uint32_t crc_init) {
+  ByteWriter w(4 + pdu.size() + 3);
+  w.u32le(access_address);
+  // CRC is computed over the un-whitened PDU, then PDU+CRC are whitened.
+  const std::uint32_t crc = crypto::crc24_ble(pdu, crc_init);
+  Bytes body(pdu.begin(), pdu.end());
+  body.push_back(static_cast<std::uint8_t>(crc & 0xff));
+  body.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xff));
+  body.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xff));
+  whiten(channel, body.data(), body.size());
+  w.bytes(body);
+  return w.take();
+}
+
+std::optional<AirPacket> parse_air_packet(BytesView packet, std::uint8_t channel,
+                                          std::uint32_t crc_init) {
+  if (packet.size() < 4 + 2 + 3) return std::nullopt;
+  AirPacket out;
+  ByteReader r{packet};
+  out.access_address = r.u32le();
+  Bytes body(packet.begin() + 4, packet.end());
+  whiten(channel, body.data(), body.size());
+  const std::size_t pdu_len = body.size() - 3;
+  const std::uint32_t wire_crc = static_cast<std::uint32_t>(body[pdu_len]) |
+                                 (static_cast<std::uint32_t>(body[pdu_len + 1]) << 8) |
+                                 (static_cast<std::uint32_t>(body[pdu_len + 2]) << 16);
+  out.pdu.assign(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(pdu_len));
+  out.crc_ok = crypto::crc24_ble(out.pdu, crc_init) == wire_crc;
+  return out;
+}
+
+}  // namespace wile::ble

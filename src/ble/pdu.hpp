@@ -1,0 +1,85 @@
+// Bluetooth Low Energy 4.x link-layer PDUs (Core spec Vol 6 Part B §2).
+//
+// The paper's BLE baseline is a CC2541 slave that "periodically transmits
+// a data packet to another BLE device which is in the master mode". We
+// implement the actual on-air format — advertising and data channel PDUs,
+// CRC-24, and the channel whitening LFSR — so the baseline rides a real
+// protocol stack rather than a constant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_buffer.hpp"
+#include "util/mac_address.hpp"
+
+namespace wile::ble {
+
+/// Advertising channel PDU types (Vol 6 Part B §2.3).
+enum class AdvPduType : std::uint8_t {
+  AdvInd = 0b0000,
+  AdvDirectInd = 0b0001,
+  AdvNonconnInd = 0b0010,
+  ScanReq = 0b0011,
+  ScanRsp = 0b0100,
+  ConnectInd = 0b0101,
+  AdvScanInd = 0b0110,
+};
+
+/// The fixed access address of the three advertising channels.
+constexpr std::uint32_t kAdvAccessAddress = 0x8E89BED6;
+/// Advertising channel indices 37, 38, 39.
+constexpr std::array<std::uint8_t, 3> kAdvChannels = {37, 38, 39};
+
+struct AdvertisingPdu {
+  AdvPduType type = AdvPduType::AdvNonconnInd;
+  bool tx_add_random = true;  // AdvA is a random device address
+  MacAddress advertiser;      // AdvA
+  Bytes adv_data;             // 0..31 bytes of AD structures
+
+  /// PDU bytes: 2-byte header + AdvA + AdvData (no preamble/AA/CRC).
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<AdvertisingPdu> decode(BytesView pdu);
+};
+
+/// Data channel PDU header fields (Vol 6 Part B §2.4).
+struct DataPdu {
+  enum class Llid : std::uint8_t {
+    Continuation = 0b01,  // or empty PDU
+    Start = 0b10,         // complete L2CAP frame (our sensor payloads)
+    Control = 0b11,
+  };
+  Llid llid = Llid::Start;
+  bool nesn = false;
+  bool sn = false;
+  bool more_data = false;
+  Bytes payload;  // <= 27 bytes in 4.0/4.1
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<DataPdu> decode(BytesView pdu);
+
+  /// An empty continuation PDU — what a master sends to poll its slave.
+  static DataPdu empty_poll(bool nesn, bool sn);
+};
+
+/// Assemble a full on-air packet (without preamble): access address,
+/// whitened (PDU || CRC24). `channel` selects the whitening seed;
+/// `crc_init` is 0x555555 for advertising PDUs.
+Bytes assemble_air_packet(std::uint32_t access_address, BytesView pdu, std::uint8_t channel,
+                          std::uint32_t crc_init = 0x555555);
+
+struct AirPacket {
+  std::uint32_t access_address = 0;
+  Bytes pdu;
+  bool crc_ok = false;
+};
+/// Reverse of assemble_air_packet. Returns nullopt if too short.
+std::optional<AirPacket> parse_air_packet(BytesView packet, std::uint8_t channel,
+                                          std::uint32_t crc_init = 0x555555);
+
+/// In-place BLE whitening/de-whitening (self-inverse). LFSR x^7 + x^4 + 1
+/// seeded with the channel index (Vol 6 Part B §3.2).
+void whiten(std::uint8_t channel, std::uint8_t* data, std::size_t len);
+
+}  // namespace wile::ble

@@ -1,0 +1,47 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "crypto/aes_modes.hpp"
+
+namespace wile::crypto {
+
+Aead::Aead(BytesView key) : cipher_(key) {}
+
+std::array<std::uint8_t, 16> Aead::tag_input(const Nonce& nonce, BytesView associated_data,
+                                             BytesView ciphertext) const {
+  // CMAC over an unambiguous encoding:
+  //   nonce || len(ad) as u32be || ad || ciphertext
+  ByteWriter w(nonce.size() + 4 + associated_data.size() + ciphertext.size());
+  w.bytes(nonce.data(), nonce.size());
+  w.u32be(static_cast<std::uint32_t>(associated_data.size()));
+  w.bytes(associated_data);
+  w.bytes(ciphertext);
+  const Bytes mac_input = w.take();
+  return aes_cmac(cipher_, mac_input);
+}
+
+Bytes Aead::seal(const Nonce& nonce, BytesView associated_data, BytesView plaintext) const {
+  // CTR counter starts at 1; counter block 0 is reserved (EAX-style
+  // domain separation from the tag computation).
+  Bytes out = aes_ctr(cipher_, nonce, plaintext, 1);
+  const auto tag = tag_input(nonce, associated_data, out);
+  out.insert(out.end(), tag.begin(), tag.begin() + kTagSize);
+  return out;
+}
+
+std::optional<Bytes> Aead::open(const Nonce& nonce, BytesView associated_data,
+                                BytesView sealed) const {
+  if (sealed.size() < kTagSize) return std::nullopt;
+  const BytesView ciphertext = sealed.subspan(0, sealed.size() - kTagSize);
+  const BytesView tag = sealed.subspan(sealed.size() - kTagSize);
+  const auto expect = tag_input(nonce, associated_data, ciphertext);
+  // Constant-time compare; the simulated channel is not a timing oracle,
+  // but the habit is free.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kTagSize; ++i) diff |= static_cast<std::uint8_t>(expect[i] ^ tag[i]);
+  if (diff != 0) return std::nullopt;
+  return aes_ctr(cipher_, nonce, ciphertext, 1);
+}
+
+}  // namespace wile::crypto

@@ -1,0 +1,48 @@
+// Authenticated encryption for Wi-LE payloads (EAX-style CTR + CMAC).
+//
+// The paper (§6 "Security") notes that Wi-LE beacons are cleartext and
+// that "security can easily be provided by encrypting the data prior to
+// its transmission". Vendor-IE space is precious (253 bytes total), so we
+// use a compact construction: AES-128-CTR for confidentiality and an
+// AES-CMAC tag truncated to 8 bytes binding ciphertext, nonce and the
+// sender's identity (as associated data).
+//
+// Nonce discipline: Wi-LE senders use (device_id, sequence number) as the
+// nonce, which never repeats for a given key as long as the 32-bit
+// sequence counter does not wrap — at one packet per second that is
+// ~136 years, far beyond a button-cell deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes128.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+class Aead {
+ public:
+  static constexpr std::size_t kTagSize = 8;
+  static constexpr std::size_t kNonceSize = 12;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  explicit Aead(BytesView key);  // 16-byte key
+
+  /// Returns ciphertext || tag (plaintext.size() + kTagSize bytes).
+  Bytes seal(const Nonce& nonce, BytesView associated_data, BytesView plaintext) const;
+
+  /// Verifies the tag and decrypts. Returns nullopt on any mismatch
+  /// (wrong key, wrong nonce, tampered ciphertext or associated data,
+  /// or input shorter than a tag).
+  std::optional<Bytes> open(const Nonce& nonce, BytesView associated_data,
+                            BytesView sealed) const;
+
+ private:
+  std::array<std::uint8_t, 16> tag_input(const Nonce& nonce, BytesView associated_data,
+                                         BytesView ciphertext) const;
+
+  Aes128 cipher_;
+};
+
+}  // namespace wile::crypto

@@ -1,0 +1,39 @@
+// AES-128 block cipher (FIPS 197).
+//
+// Used as the primitive under AES-CTR, AES-CMAC and the CCM-style AEAD
+// that protects Wi-LE payloads (paper §6 "Security": "security can be
+// easily provided by encrypting the data prior to its transmission").
+// Straightforward table-free byte-oriented implementation: this code path
+// runs a handful of blocks per simulated packet, so clarity wins over
+// throughput. Not hardened against timing side channels — it encrypts
+// simulated traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+  using Key = std::array<std::uint8_t, kKeySize>;
+
+  explicit Aes128(const Key& key);
+  explicit Aes128(BytesView key);  // must be exactly 16 bytes
+
+  [[nodiscard]] Block encrypt_block(const Block& plaintext) const;
+  [[nodiscard]] Block decrypt_block(const Block& ciphertext) const;
+
+ private:
+  void expand_key(const Key& key);
+
+  // 11 round keys of 16 bytes each.
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace wile::crypto

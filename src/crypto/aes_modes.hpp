@@ -1,0 +1,36 @@
+// AES modes of operation used by the Wi-LE security layer.
+//
+//  * AES-CTR — stream encryption of the payload. Encryption and
+//    decryption are the same operation.
+//  * AES-CMAC (NIST SP 800-38B / RFC 4493) — message authentication used
+//    by the AEAD in aead.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes128.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+/// AES-128-CTR keystream XOR. `nonce` forms the top 12 bytes of the
+/// counter block; the bottom 4 bytes count blocks starting from
+/// `initial_counter`. Apply twice to round-trip.
+Bytes aes_ctr(const Aes128& cipher, const std::array<std::uint8_t, 12>& nonce,
+              BytesView data, std::uint32_t initial_counter = 0);
+
+/// AES-128-CMAC tag (full 16 bytes) over `data`.
+std::array<std::uint8_t, 16> aes_cmac(const Aes128& cipher, BytesView data);
+
+/// NIST AES Key Wrap (RFC 3394) — WPA2 uses it (keyed with the KEK) to
+/// carry the GTK inside EAPOL-Key message 3. `plaintext` must be a
+/// multiple of 8 bytes and at least 16; output is 8 bytes longer.
+Bytes aes_key_wrap(const Aes128& kek, BytesView plaintext);
+
+/// Inverse of aes_key_wrap. Returns nullopt if the integrity check value
+/// does not match (wrong key or corrupted data).
+std::optional<Bytes> aes_key_unwrap(const Aes128& kek, BytesView wrapped);
+
+}  // namespace wile::crypto

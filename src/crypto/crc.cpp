@@ -1,0 +1,61 @@
+#include "crypto/crc.hpp"
+
+#include <array>
+
+namespace wile::crypto {
+
+namespace {
+
+// Table for the reflected IEEE 802.3 polynomial 0xEDB88320, generated at
+// static-init time (cheap, 256 iterations of 8 steps).
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const auto table = make_crc32_table();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::update(BytesView data) {
+  const auto& table = crc32_table();
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(BytesView data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+std::uint32_t crc24_ble(BytesView data, std::uint32_t init) {
+  // Bit-serial LFSR per Bluetooth Core v4.x Vol 6 Part B §3.1.1:
+  // polynomial x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1, data bits
+  // clocked in LSB-first.
+  std::uint32_t crc = init & 0xffffff;
+  for (std::uint8_t byte : data) {
+    for (int i = 0; i < 8; ++i) {
+      const std::uint32_t in_bit = (byte >> i) & 1;
+      const std::uint32_t msb = (crc >> 23) & 1;
+      crc = (crc << 1) & 0xffffff;
+      if (in_bit ^ msb) crc ^= 0x00065B;
+    }
+  }
+  return crc;
+}
+
+}  // namespace wile::crypto

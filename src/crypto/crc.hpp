@@ -1,0 +1,35 @@
+// Cyclic redundancy checks used by the two radio standards we model.
+//
+//  * CRC-32 (IEEE 802.3 polynomial, reflected) — the 802.11 FCS appended
+//    to every frame on the air, and also used by the Wi-LE payload
+//    container as an application-layer integrity check.
+//  * CRC-24 (polynomial 0x00065B, as specified by Bluetooth Core v4.x
+//    Vol 6 Part B §3.1.1) — the BLE link-layer CRC.
+#pragma once
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+/// One-shot CRC-32 over a buffer (init 0xffffffff, final xor 0xffffffff).
+std::uint32_t crc32(BytesView data);
+
+/// Incremental CRC-32 for streaming use; Crc32 c; c.update(a); c.update(b);
+/// c.value() == crc32(a||b).
+class Crc32 {
+ public:
+  void update(BytesView data);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// BLE CRC-24. `init` is the CRC initialisation value carried in the
+/// CONNECT_IND for data channel PDUs; advertising channel PDUs use the
+/// fixed 0x555555 (the default).
+std::uint32_t crc24_ble(BytesView data, std::uint32_t init = 0x555555);
+
+}  // namespace wile::crypto

@@ -1,0 +1,39 @@
+#include "crypto/hmac_sha1.hpp"
+
+#include <cstring>
+
+namespace wile::crypto {
+
+HmacSha1::HmacSha1(BytesView key) {
+  std::array<std::uint8_t, Sha1::kBlockSize> k{};
+  if (key.size() > Sha1::kBlockSize) {
+    const auto digest = Sha1::hash(key);
+    std::memcpy(k.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, Sha1::kBlockSize> ipad_key{};
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha1::update(BytesView data) { inner_.update(data); }
+
+HmacSha1Digest HmacSha1::finish() {
+  const auto inner_digest = inner_.finish();
+  Sha1 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+HmacSha1Digest hmac_sha1(BytesView key, BytesView data) {
+  HmacSha1 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+}  // namespace wile::crypto

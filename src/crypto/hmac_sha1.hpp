@@ -1,0 +1,32 @@
+// HMAC-SHA1 (RFC 2104), the MAC primitive under all WPA2-PSK key
+// derivation and the EAPOL-Key MIC (key descriptor version 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha1.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+using HmacSha1Digest = std::array<std::uint8_t, Sha1::kDigestSize>;
+
+/// One-shot HMAC-SHA1 of `data` under `key` (any key length; keys longer
+/// than the block size are hashed first, per RFC 2104).
+HmacSha1Digest hmac_sha1(BytesView key, BytesView data);
+
+/// Streaming variant for multi-part messages (the 802.11i PRF feeds
+/// label || 0x00 || data || counter without concatenating buffers).
+class HmacSha1 {
+ public:
+  explicit HmacSha1(BytesView key);
+  void update(BytesView data);
+  HmacSha1Digest finish();
+
+ private:
+  std::array<std::uint8_t, Sha1::kBlockSize> opad_key_{};
+  Sha1 inner_;
+};
+
+}  // namespace wile::crypto

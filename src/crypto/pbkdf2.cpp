@@ -1,0 +1,43 @@
+#include "crypto/pbkdf2.hpp"
+
+#include "crypto/hmac_sha1.hpp"
+
+namespace wile::crypto {
+
+Bytes pbkdf2_hmac_sha1(BytesView password, BytesView salt, std::uint32_t iterations,
+                       std::size_t output_len) {
+  Bytes out;
+  out.reserve(output_len);
+  std::uint32_t block_index = 1;
+  while (out.size() < output_len) {
+    // U1 = HMAC(password, salt || INT_BE(block_index))
+    HmacSha1 mac(password);
+    mac.update(salt);
+    const std::uint8_t idx[4] = {
+        static_cast<std::uint8_t>(block_index >> 24),
+        static_cast<std::uint8_t>(block_index >> 16),
+        static_cast<std::uint8_t>(block_index >> 8),
+        static_cast<std::uint8_t>(block_index),
+    };
+    mac.update(BytesView{idx, 4});
+    auto u = mac.finish();
+    auto t = u;
+    for (std::uint32_t i = 1; i < iterations; ++i) {
+      u = hmac_sha1(password, u);
+      for (std::size_t k = 0; k < t.size(); ++k) t[k] ^= u[k];
+    }
+    const std::size_t take = std::min(t.size(), output_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+    ++block_index;
+  }
+  return out;
+}
+
+Bytes wpa2_psk(std::string_view passphrase, std::string_view ssid) {
+  const BytesView pw{reinterpret_cast<const std::uint8_t*>(passphrase.data()),
+                     passphrase.size()};
+  const BytesView salt{reinterpret_cast<const std::uint8_t*>(ssid.data()), ssid.size()};
+  return pbkdf2_hmac_sha1(pw, salt, 4096, 32);
+}
+
+}  // namespace wile::crypto

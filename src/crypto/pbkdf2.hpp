@@ -1,0 +1,22 @@
+// PBKDF2-HMAC-SHA1 (RFC 2898 §5.2).
+//
+// WPA2-PSK derives the 256-bit pairwise master key from the passphrase as
+//   PMK = PBKDF2(passphrase, ssid, 4096 iterations, 32 bytes)
+// (IEEE 802.11i Annex H.4). Our AP and STA both run this for real during
+// the simulated 4-way handshake.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+Bytes pbkdf2_hmac_sha1(BytesView password, BytesView salt, std::uint32_t iterations,
+                       std::size_t output_len);
+
+/// WPA2 passphrase-to-PMK convenience (4096 iterations, 32 bytes).
+Bytes wpa2_psk(std::string_view passphrase, std::string_view ssid);
+
+}  // namespace wile::crypto

@@ -1,0 +1,56 @@
+#include "crypto/prf80211.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac_sha1.hpp"
+
+namespace wile::crypto {
+
+Bytes prf80211(BytesView key, std::string_view label, BytesView data,
+               std::size_t output_len) {
+  Bytes out;
+  out.reserve(output_len + Sha1::kDigestSize);
+  for (std::uint8_t counter = 0; out.size() < output_len; ++counter) {
+    HmacSha1 mac(key);
+    mac.update(BytesView{reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+    const std::uint8_t zero = 0;
+    mac.update(BytesView{&zero, 1});
+    mac.update(data);
+    mac.update(BytesView{&counter, 1});
+    const auto digest = mac.finish();
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  out.resize(output_len);
+  return out;
+}
+
+PairwiseTransientKey derive_ptk(BytesView pmk, const MacAddress& aa, const MacAddress& spa,
+                                BytesView anonce, BytesView snonce) {
+  if (anonce.size() != 32 || snonce.size() != 32) {
+    throw std::invalid_argument("derive_ptk: nonces must be 32 bytes");
+  }
+  const MacAddress& mac_min = std::min(aa, spa);
+  const MacAddress& mac_max = std::max(aa, spa);
+  const bool a_first = std::lexicographical_compare(anonce.begin(), anonce.end(),
+                                                    snonce.begin(), snonce.end());
+  const BytesView nonce_min = a_first ? anonce : snonce;
+  const BytesView nonce_max = a_first ? snonce : anonce;
+
+  ByteWriter w(12 + 64);
+  w.bytes(mac_min.octets().data(), MacAddress::kSize);
+  w.bytes(mac_max.octets().data(), MacAddress::kSize);
+  w.bytes(nonce_min);
+  w.bytes(nonce_max);
+  const Bytes seed = w.take();
+
+  const Bytes ptk = prf80211(pmk, "Pairwise key expansion", seed, 48);
+  PairwiseTransientKey out;
+  std::memcpy(out.kck.data(), ptk.data(), 16);
+  std::memcpy(out.kek.data(), ptk.data() + 16, 16);
+  std::memcpy(out.tk.data(), ptk.data() + 32, 16);
+  return out;
+}
+
+}  // namespace wile::crypto

@@ -1,0 +1,38 @@
+// IEEE 802.11i PRF and pairwise transient key derivation.
+//
+// The 4-way handshake expands the PMK into the PTK with
+//   PRF-384(PMK, "Pairwise key expansion",
+//           min(AA,SPA) || max(AA,SPA) || min(ANonce,SNonce) || max(...))
+// yielding KCK (16 B, MICs EAPOL frames), KEK (16 B, wraps the GTK) and
+// TK (16 B, the CCMP temporal key). IEEE 802.11-2012 §11.6.1.2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/byte_buffer.hpp"
+#include "util/mac_address.hpp"
+
+namespace wile::crypto {
+
+/// 802.11i PRF-n: iterates HMAC-SHA1(key, label || 0x00 || data || i) for
+/// i = 0,1,2,... and concatenates digests until `output_len` bytes exist.
+Bytes prf80211(BytesView key, std::string_view label, BytesView data,
+               std::size_t output_len);
+
+/// The three PTK components, in derivation order.
+struct PairwiseTransientKey {
+  std::array<std::uint8_t, 16> kck{};  // key confirmation key (EAPOL MIC)
+  std::array<std::uint8_t, 16> kek{};  // key encryption key (GTK wrap)
+  std::array<std::uint8_t, 16> tk{};   // temporal key (CCMP)
+};
+
+/// Derive the PTK from PMK, the two MAC addresses and the two nonces.
+/// Argument order of (aa, spa) and (anonce, snonce) does not matter; the
+/// derivation sorts them as the standard requires, so both sides derive
+/// identical keys.
+PairwiseTransientKey derive_ptk(BytesView pmk, const MacAddress& aa, const MacAddress& spa,
+                                BytesView anonce, BytesView snonce);
+
+}  // namespace wile::crypto

@@ -1,0 +1,43 @@
+// SHA-1 (FIPS 180-4).
+//
+// SHA-1 is broken for collision resistance but is exactly what WPA2-PSK
+// specifies: the 4-way handshake derives keys with PBKDF2-HMAC-SHA1 and
+// PRF-x built on HMAC-SHA1, and EAPOL-Key MICs for WPA2 key descriptor
+// version 2 use HMAC-SHA1-128. We implement the real algorithm so the
+// handshake frames carry genuine MICs that the peer verifies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1();
+
+  void update(BytesView data);
+  /// Finalise and return the digest. The object must not be updated after
+  /// finalising; call reset() to reuse it.
+  Digest finish();
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace wile::crypto

@@ -1,0 +1,50 @@
+#include "dot11/ccmp.hpp"
+
+namespace wile::dot11 {
+
+crypto::Aead::Nonce CcmpSession::make_nonce(const MacAddress& ta, std::uint64_t pn) {
+  crypto::Aead::Nonce nonce{};
+  const auto& mac = ta.octets();
+  for (std::size_t i = 0; i < 6; ++i) nonce[i] = mac[i];
+  for (int i = 0; i < 6; ++i) {
+    nonce[6 + i] = static_cast<std::uint8_t>(pn >> (8 * (5 - i)));
+  }
+  return nonce;
+}
+
+Bytes CcmpSession::seal(const MacAddress& ta, BytesView plaintext) {
+  const std::uint64_t pn = ++tx_pn_;
+  // CCMP header: PN0 PN1 rsvd flags(ExtIV|keyid) PN2 PN3 PN4 PN5.
+  ByteWriter w(kHeaderSize + plaintext.size() + crypto::Aead::kTagSize);
+  w.u8(static_cast<std::uint8_t>(pn));
+  w.u8(static_cast<std::uint8_t>(pn >> 8));
+  w.u8(0x00);
+  w.u8(0x20);  // ExtIV, key id 0
+  w.u8(static_cast<std::uint8_t>(pn >> 16));
+  w.u8(static_cast<std::uint8_t>(pn >> 24));
+  w.u8(static_cast<std::uint8_t>(pn >> 32));
+  w.u8(static_cast<std::uint8_t>(pn >> 40));
+  const Bytes sealed = aead_.seal(make_nonce(ta, pn), ta.octets(), plaintext);
+  w.bytes(sealed);
+  return w.take();
+}
+
+std::optional<Bytes> CcmpSession::open(const MacAddress& ta, BytesView protected_body) {
+  if (protected_body.size() < kOverhead) return std::nullopt;
+  if ((protected_body[3] & 0x20) == 0) return std::nullopt;  // ExtIV required
+  const std::uint64_t pn =
+      static_cast<std::uint64_t>(protected_body[0]) |
+      (static_cast<std::uint64_t>(protected_body[1]) << 8) |
+      (static_cast<std::uint64_t>(protected_body[4]) << 16) |
+      (static_cast<std::uint64_t>(protected_body[5]) << 24) |
+      (static_cast<std::uint64_t>(protected_body[6]) << 32) |
+      (static_cast<std::uint64_t>(protected_body[7]) << 40);
+  if (pn <= last_rx_pn_) return std::nullopt;  // replay
+  auto plain = aead_.open(make_nonce(ta, pn), ta.octets(),
+                          protected_body.subspan(kHeaderSize));
+  if (!plain) return std::nullopt;
+  last_rx_pn_ = pn;
+  return plain;
+}
+
+}  // namespace wile::dot11

@@ -1,0 +1,47 @@
+// CCMP-style protection for 802.11 data frame bodies.
+//
+// After the 4-way handshake, data frames between STA and AP are encrypted
+// with the temporal key. We keep the real CCMP framing — an 8-byte header
+// carrying the 48-bit packet number (PN) with the ExtIV flag — and use
+// our CTR+CMAC AEAD as the cipher core with the transmitter address and
+// PN forming the nonce, mirroring CCM's nonce construction
+// (IEEE 802.11-2012 §11.4.3). Tag is 8 bytes, same as CCMP's MIC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aead.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/mac_address.hpp"
+
+namespace wile::dot11 {
+
+class CcmpSession {
+ public:
+  static constexpr std::size_t kHeaderSize = 8;
+  static constexpr std::size_t kOverhead = kHeaderSize + crypto::Aead::kTagSize;
+
+  explicit CcmpSession(const std::array<std::uint8_t, 16>& temporal_key)
+      : aead_(temporal_key) {}
+
+  /// Encrypt `plaintext` for transmission from `ta`. Increments the PN.
+  Bytes seal(const MacAddress& ta, BytesView plaintext);
+
+  /// Decrypt a protected body received from `ta`. Enforces strictly
+  /// increasing PN (replay protection). Returns nullopt on tag mismatch,
+  /// malformed header, or replay.
+  std::optional<Bytes> open(const MacAddress& ta, BytesView protected_body);
+
+  [[nodiscard]] std::uint64_t tx_pn() const { return tx_pn_; }
+
+ private:
+  static crypto::Aead::Nonce make_nonce(const MacAddress& ta, std::uint64_t pn);
+
+  crypto::Aead aead_;
+  std::uint64_t tx_pn_ = 0;
+  std::uint64_t last_rx_pn_ = 0;
+};
+
+}  // namespace wile::dot11

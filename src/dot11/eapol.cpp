@@ -1,0 +1,191 @@
+#include "dot11/eapol.hpp"
+
+#include <cstring>
+
+#include "crypto/aes_modes.hpp"
+#include "crypto/hmac_sha1.hpp"
+
+namespace wile::dot11 {
+
+namespace {
+constexpr std::uint8_t kEapolTypeKey = 3;
+constexpr std::uint8_t kKeyDescriptorRsn = 2;
+// GTK KDE header: dd len 00-0f-ac 01 <key-id/flags> <reserved>
+constexpr std::uint8_t kKdeType = 0xdd;
+constexpr std::array<std::uint8_t, 3> kKdeOui = {0x00, 0x0f, 0xac};
+constexpr std::uint8_t kKdeGtk = 0x01;
+}  // namespace
+
+Bytes EapolKeyFrame::encode(bool zero_mic) const {
+  ByteWriter body(95 + key_data.size());
+  body.u8(kKeyDescriptorRsn);
+  body.u16be(key_info);
+  body.u16be(key_length);
+  body.u64be(replay_counter);
+  body.bytes(nonce.data(), nonce.size());
+  body.zeros(16);  // EAPOL key IV (unused with descriptor v2)
+  body.zeros(8);   // key RSC
+  body.zeros(8);   // reserved
+  if (zero_mic) {
+    body.zeros(kMicSize);
+  } else {
+    body.bytes(mic.data(), mic.size());
+  }
+  body.u16be(static_cast<std::uint16_t>(key_data.size()));
+  body.bytes(key_data);
+  const Bytes descriptor = body.take();
+
+  ByteWriter w(4 + descriptor.size());
+  w.u8(protocol_version);
+  w.u8(kEapolTypeKey);
+  w.u16be(static_cast<std::uint16_t>(descriptor.size()));
+  w.bytes(descriptor);
+  return w.take();
+}
+
+std::optional<EapolKeyFrame> EapolKeyFrame::decode(BytesView frame) {
+  try {
+    ByteReader r{frame};
+    EapolKeyFrame out;
+    out.protocol_version = r.u8();
+    if (r.u8() != kEapolTypeKey) return std::nullopt;
+    const std::uint16_t body_len = r.u16be();
+    if (body_len > r.remaining()) return std::nullopt;
+    if (r.u8() != kKeyDescriptorRsn) return std::nullopt;
+    out.key_info = r.u16be();
+    out.key_length = r.u16be();
+    out.replay_counter = r.u64be();
+    const BytesView nonce = r.bytes(kNonceSize);
+    std::copy(nonce.begin(), nonce.end(), out.nonce.begin());
+    r.skip(16 + 8 + 8);  // IV, RSC, reserved
+    const BytesView mic = r.bytes(kMicSize);
+    std::copy(mic.begin(), mic.end(), out.mic.begin());
+    const std::uint16_t kd_len = r.u16be();
+    out.key_data = r.bytes_copy(kd_len);
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::array<std::uint8_t, EapolKeyFrame::kMicSize> EapolKeyFrame::compute_mic(
+    const std::array<std::uint8_t, 16>& kck) const {
+  const Bytes zeroed = encode(/*zero_mic=*/true);
+  const auto digest = crypto::hmac_sha1(kck, zeroed);
+  std::array<std::uint8_t, kMicSize> out{};
+  std::memcpy(out.data(), digest.data(), kMicSize);
+  return out;
+}
+
+void EapolKeyFrame::sign(const std::array<std::uint8_t, 16>& kck) {
+  key_info |= KeyInfo::kMic;
+  mic = compute_mic(kck);
+}
+
+bool EapolKeyFrame::verify_mic(const std::array<std::uint8_t, 16>& kck) const {
+  if (!has(KeyInfo::kMic)) return false;
+  return compute_mic(kck) == mic;
+}
+
+EapolKeyFrame make_handshake_m1(std::uint64_t replay,
+                                const std::array<std::uint8_t, 32>& anonce) {
+  EapolKeyFrame f;
+  f.key_info |= KeyInfo::kPairwise | KeyInfo::kAck;
+  f.replay_counter = replay;
+  f.nonce = anonce;
+  return f;
+}
+
+EapolKeyFrame make_handshake_m2(std::uint64_t replay,
+                                const std::array<std::uint8_t, 32>& snonce,
+                                BytesView rsn_ie,
+                                const std::array<std::uint8_t, 16>& kck) {
+  EapolKeyFrame f;
+  f.key_info |= KeyInfo::kPairwise;
+  f.replay_counter = replay;
+  f.nonce = snonce;
+  f.key_data.assign(rsn_ie.begin(), rsn_ie.end());
+  f.sign(kck);
+  return f;
+}
+
+EapolKeyFrame make_handshake_m3(std::uint64_t replay,
+                                const std::array<std::uint8_t, 32>& anonce,
+                                BytesView rsn_ie, BytesView gtk,
+                                const std::array<std::uint8_t, 16>& kck,
+                                const std::array<std::uint8_t, 16>& kek) {
+  EapolKeyFrame f;
+  f.key_info |= KeyInfo::kPairwise | KeyInfo::kInstall | KeyInfo::kAck | KeyInfo::kSecure |
+                KeyInfo::kEncryptedKeyData;
+  f.replay_counter = replay;
+  f.nonce = anonce;
+
+  // Plaintext key data: RSN IE || GTK KDE, padded to a key-wrap block.
+  ByteWriter kd(rsn_ie.size() + gtk.size() + 8);
+  kd.bytes(rsn_ie);
+  kd.u8(kKdeType);
+  kd.u8(static_cast<std::uint8_t>(4 + 2 + gtk.size()));  // OUI+type+keyid/rsvd+gtk
+  kd.bytes(kKdeOui);
+  kd.u8(kKdeGtk);
+  kd.u8(0x01);  // key id 1, not tx-only
+  kd.u8(0x00);  // reserved
+  kd.bytes(gtk);
+  Bytes plain = kd.take();
+  // Pad with dd 00.. to a multiple of 8 (and minimum 16) for key wrap.
+  if (plain.size() % 8 != 0 || plain.size() < 16) {
+    plain.push_back(0xdd);
+    while (plain.size() % 8 != 0 || plain.size() < 16) plain.push_back(0x00);
+  }
+  f.key_data = crypto::aes_key_wrap(crypto::Aes128{kek}, plain);
+  f.sign(kck);
+  return f;
+}
+
+EapolKeyFrame make_handshake_m4(std::uint64_t replay,
+                                const std::array<std::uint8_t, 16>& kck) {
+  EapolKeyFrame f;
+  f.key_info |= KeyInfo::kPairwise | KeyInfo::kSecure;
+  f.replay_counter = replay;
+  f.sign(kck);
+  return f;
+}
+
+std::optional<Bytes> extract_gtk(const EapolKeyFrame& m3,
+                                 const std::array<std::uint8_t, 16>& kek) {
+  if (!m3.has(KeyInfo::kEncryptedKeyData)) return std::nullopt;
+  const auto plain = crypto::aes_key_unwrap(crypto::Aes128{kek}, m3.key_data);
+  if (!plain) return std::nullopt;
+  // Walk the KDE/IE list looking for the GTK KDE.
+  try {
+    ByteReader r{*plain};
+    while (r.remaining() >= 2) {
+      const std::uint8_t type = r.u8();
+      const std::uint8_t len = r.u8();
+      if (len > r.remaining()) break;  // into padding
+      const BytesView body = r.bytes(len);
+      if (type == kKdeType && len >= 6 &&
+          std::equal(kKdeOui.begin(), kKdeOui.end(), body.begin()) && body[3] == kKdeGtk) {
+        return Bytes(body.begin() + 6, body.end());
+      }
+    }
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+int handshake_message_number(const EapolKeyFrame& f) {
+  const bool pairwise = f.has(KeyInfo::kPairwise);
+  if (!pairwise) return 0;
+  const bool ack = f.has(KeyInfo::kAck);
+  const bool mic = f.has(KeyInfo::kMic);
+  const bool secure = f.has(KeyInfo::kSecure);
+  const bool install = f.has(KeyInfo::kInstall);
+  if (ack && !mic) return 1;
+  if (ack && mic && install) return 3;
+  if (!ack && mic && !secure) return 2;
+  if (!ack && mic && secure) return 4;
+  return 0;
+}
+
+}  // namespace wile::dot11

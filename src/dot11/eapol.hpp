@@ -1,0 +1,89 @@
+// EAPOL-Key frames for the WPA2-PSK 4-way handshake
+// (IEEE 802.1X-2010 §11 framing; IEEE 802.11-2012 §11.6 key descriptor).
+//
+// The paper's AP uses 802.1X/WPA2: "A four-way handshake is performed
+// using the 802.1x protocol to confirm that the client has the
+// shared-key. At least 8 frames are exchanged during this process"
+// (4 EAPOL-Key frames + 4 ACKs). This module implements the key
+// descriptor codec, the four message constructors, and genuine
+// HMAC-SHA1-128 MICs so both simulated sides verify each other.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/prf80211.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace wile::dot11 {
+
+/// Key Information bitfield (§11.6.2).
+struct KeyInfo {
+  static constexpr std::uint16_t kDescV2HmacSha1Aes = 0x0002;  // bits 0-2
+  static constexpr std::uint16_t kPairwise = 0x0008;
+  static constexpr std::uint16_t kInstall = 0x0040;
+  static constexpr std::uint16_t kAck = 0x0080;
+  static constexpr std::uint16_t kMic = 0x0100;
+  static constexpr std::uint16_t kSecure = 0x0200;
+  static constexpr std::uint16_t kEncryptedKeyData = 0x1000;
+};
+
+struct EapolKeyFrame {
+  static constexpr std::size_t kNonceSize = 32;
+  static constexpr std::size_t kMicSize = 16;
+
+  std::uint8_t protocol_version = 2;  // 802.1X-2004
+  std::uint16_t key_info = KeyInfo::kDescV2HmacSha1Aes;
+  std::uint16_t key_length = 16;  // CCMP TK
+  std::uint64_t replay_counter = 0;
+  std::array<std::uint8_t, kNonceSize> nonce{};
+  std::array<std::uint8_t, kMicSize> mic{};
+  Bytes key_data;
+
+  [[nodiscard]] bool has(std::uint16_t flag) const { return (key_info & flag) != 0; }
+
+  /// Serialise the full EAPOL frame (802.1X header + key descriptor).
+  /// If `zero_mic`, the MIC field is written as zeros (the form the MIC
+  /// itself is computed over).
+  [[nodiscard]] Bytes encode(bool zero_mic = false) const;
+
+  static std::optional<EapolKeyFrame> decode(BytesView frame);
+
+  /// Compute HMAC-SHA1-128 over the zero-MIC encoding with the KCK.
+  [[nodiscard]] std::array<std::uint8_t, kMicSize> compute_mic(
+      const std::array<std::uint8_t, 16>& kck) const;
+
+  /// Fill in the MIC field (and set the kMic flag).
+  void sign(const std::array<std::uint8_t, 16>& kck);
+
+  /// Verify this frame's MIC against the KCK.
+  [[nodiscard]] bool verify_mic(const std::array<std::uint8_t, 16>& kck) const;
+};
+
+/// Constructors for the four handshake messages. Key data for message 2
+/// is the supplicant's RSN IE; message 3 carries the RSN IE plus the GTK
+/// KDE wrapped with the KEK (AES Key Wrap).
+EapolKeyFrame make_handshake_m1(std::uint64_t replay,
+                                const std::array<std::uint8_t, 32>& anonce);
+EapolKeyFrame make_handshake_m2(std::uint64_t replay,
+                                const std::array<std::uint8_t, 32>& snonce,
+                                BytesView rsn_ie,
+                                const std::array<std::uint8_t, 16>& kck);
+EapolKeyFrame make_handshake_m3(std::uint64_t replay,
+                                const std::array<std::uint8_t, 32>& anonce,
+                                BytesView rsn_ie, BytesView gtk,
+                                const std::array<std::uint8_t, 16>& kck,
+                                const std::array<std::uint8_t, 16>& kek);
+EapolKeyFrame make_handshake_m4(std::uint64_t replay,
+                                const std::array<std::uint8_t, 16>& kck);
+
+/// Unwrap and extract the GTK from a message-3 key-data blob.
+std::optional<Bytes> extract_gtk(const EapolKeyFrame& m3,
+                                 const std::array<std::uint8_t, 16>& kek);
+
+/// Classify a received EAPOL-Key frame by its flags: returns 1..4, or 0
+/// if the flag combination matches no handshake message.
+int handshake_message_number(const EapolKeyFrame& frame);
+
+}  // namespace wile::dot11

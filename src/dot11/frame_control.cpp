@@ -1,0 +1,85 @@
+#include "dot11/frame_control.hpp"
+
+namespace wile::dot11 {
+
+std::uint16_t FrameControl::encode() const {
+  std::uint16_t v = 0;
+  v |= static_cast<std::uint16_t>(protocol_version & 0x3);
+  v |= static_cast<std::uint16_t>((static_cast<std::uint16_t>(type) & 0x3) << 2);
+  v |= static_cast<std::uint16_t>((subtype & 0xf) << 4);
+  if (to_ds) v |= 1u << 8;
+  if (from_ds) v |= 1u << 9;
+  if (more_fragments) v |= 1u << 10;
+  if (retry) v |= 1u << 11;
+  if (power_management) v |= 1u << 12;
+  if (more_data) v |= 1u << 13;
+  if (protected_frame) v |= 1u << 14;
+  if (order) v |= 1u << 15;
+  return v;
+}
+
+FrameControl FrameControl::decode(std::uint16_t raw) {
+  FrameControl fc;
+  fc.protocol_version = static_cast<std::uint8_t>(raw & 0x3);
+  fc.type = static_cast<FrameType>((raw >> 2) & 0x3);
+  fc.subtype = static_cast<std::uint8_t>((raw >> 4) & 0xf);
+  fc.to_ds = (raw >> 8) & 1;
+  fc.from_ds = (raw >> 9) & 1;
+  fc.more_fragments = (raw >> 10) & 1;
+  fc.retry = (raw >> 11) & 1;
+  fc.power_management = (raw >> 12) & 1;
+  fc.more_data = (raw >> 13) & 1;
+  fc.protected_frame = (raw >> 14) & 1;
+  fc.order = (raw >> 15) & 1;
+  return fc;
+}
+
+std::string FrameControl::describe() const {
+  std::string out;
+  switch (type) {
+    case FrameType::Management: {
+      out = "mgmt/";
+      switch (static_cast<MgmtSubtype>(subtype)) {
+        case MgmtSubtype::AssocRequest: return out + "assoc-req";
+        case MgmtSubtype::AssocResponse: return out + "assoc-resp";
+        case MgmtSubtype::ReassocRequest: return out + "reassoc-req";
+        case MgmtSubtype::ReassocResponse: return out + "reassoc-resp";
+        case MgmtSubtype::ProbeRequest: return out + "probe-req";
+        case MgmtSubtype::ProbeResponse: return out + "probe-resp";
+        case MgmtSubtype::Beacon: return out + "beacon";
+        case MgmtSubtype::Atim: return out + "atim";
+        case MgmtSubtype::Disassoc: return out + "disassoc";
+        case MgmtSubtype::Authentication: return out + "auth";
+        case MgmtSubtype::Deauthentication: return out + "deauth";
+        case MgmtSubtype::Action: return out + "action";
+      }
+      return out + std::to_string(subtype);
+    }
+    case FrameType::Control: {
+      out = "ctrl/";
+      switch (static_cast<CtrlSubtype>(subtype)) {
+        case CtrlSubtype::BlockAckReq: return out + "ba-req";
+        case CtrlSubtype::BlockAck: return out + "ba";
+        case CtrlSubtype::PsPoll: return out + "ps-poll";
+        case CtrlSubtype::Rts: return out + "rts";
+        case CtrlSubtype::Cts: return out + "cts";
+        case CtrlSubtype::Ack: return out + "ack";
+      }
+      return out + std::to_string(subtype);
+    }
+    case FrameType::Data: {
+      out = "data/";
+      switch (static_cast<DataSubtype>(subtype)) {
+        case DataSubtype::Data: return out + "data";
+        case DataSubtype::Null: return out + "null";
+        case DataSubtype::QosData: return out + "qos-data";
+        case DataSubtype::QosNull: return out + "qos-null";
+      }
+      return out + std::to_string(subtype);
+    }
+    case FrameType::Extension: return "ext/" + std::to_string(subtype);
+  }
+  return "?";
+}
+
+}  // namespace wile::dot11

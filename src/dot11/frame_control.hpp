@@ -1,0 +1,101 @@
+// The 16-bit 802.11 Frame Control field (IEEE 802.11-2012 §8.2.4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wile::dot11 {
+
+enum class FrameType : std::uint8_t {
+  Management = 0,
+  Control = 1,
+  Data = 2,
+  Extension = 3,
+};
+
+/// Management subtypes (type == Management).
+enum class MgmtSubtype : std::uint8_t {
+  AssocRequest = 0,
+  AssocResponse = 1,
+  ReassocRequest = 2,
+  ReassocResponse = 3,
+  ProbeRequest = 4,
+  ProbeResponse = 5,
+  Beacon = 8,
+  Atim = 9,
+  Disassoc = 10,
+  Authentication = 11,
+  Deauthentication = 12,
+  Action = 13,
+};
+
+/// Control subtypes (type == Control).
+enum class CtrlSubtype : std::uint8_t {
+  BlockAckReq = 8,
+  BlockAck = 9,
+  PsPoll = 10,
+  Rts = 11,
+  Cts = 12,
+  Ack = 13,
+};
+
+/// Data subtypes (type == Data).
+enum class DataSubtype : std::uint8_t {
+  Data = 0,
+  Null = 4,
+  QosData = 8,
+  QosNull = 12,
+};
+
+struct FrameControl {
+  std::uint8_t protocol_version = 0;
+  FrameType type = FrameType::Management;
+  std::uint8_t subtype = 0;
+  bool to_ds = false;
+  bool from_ds = false;
+  bool more_fragments = false;
+  bool retry = false;
+  bool power_management = false;  // STA announces it is entering PS mode
+  bool more_data = false;         // AP has more buffered frames for the STA
+  bool protected_frame = false;   // encrypted body
+  bool order = false;
+
+  [[nodiscard]] std::uint16_t encode() const;
+  static FrameControl decode(std::uint16_t raw);
+
+  [[nodiscard]] bool is_mgmt(MgmtSubtype s) const {
+    return type == FrameType::Management && subtype == static_cast<std::uint8_t>(s);
+  }
+  [[nodiscard]] bool is_ctrl(CtrlSubtype s) const {
+    return type == FrameType::Control && subtype == static_cast<std::uint8_t>(s);
+  }
+  [[nodiscard]] bool is_data(DataSubtype s) const {
+    return type == FrameType::Data && subtype == static_cast<std::uint8_t>(s);
+  }
+
+  static FrameControl mgmt(MgmtSubtype s) {
+    FrameControl fc;
+    fc.type = FrameType::Management;
+    fc.subtype = static_cast<std::uint8_t>(s);
+    return fc;
+  }
+  static FrameControl ctrl(CtrlSubtype s) {
+    FrameControl fc;
+    fc.type = FrameType::Control;
+    fc.subtype = static_cast<std::uint8_t>(s);
+    return fc;
+  }
+  static FrameControl data(DataSubtype s) {
+    FrameControl fc;
+    fc.type = FrameType::Data;
+    fc.subtype = static_cast<std::uint8_t>(s);
+    return fc;
+  }
+
+  /// Human-readable "mgmt/beacon", "ctrl/ack", ... for logs and captures.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const FrameControl&, const FrameControl&) = default;
+};
+
+}  // namespace wile::dot11

@@ -1,0 +1,25 @@
+#include "dot11/mac_header.hpp"
+
+namespace wile::dot11 {
+
+void MacHeader::write_to(ByteWriter& w) const {
+  w.u16le(fc.encode());
+  w.u16le(duration_id);
+  addr1.write_to(w);
+  addr2.write_to(w);
+  addr3.write_to(w);
+  w.u16le(sequence_control);
+}
+
+MacHeader MacHeader::read_from(ByteReader& r) {
+  MacHeader h;
+  h.fc = FrameControl::decode(r.u16le());
+  h.duration_id = r.u16le();
+  h.addr1 = MacAddress::read_from(r);
+  h.addr2 = MacAddress::read_from(r);
+  h.addr3 = MacAddress::read_from(r);
+  h.sequence_control = r.u16le();
+  return h;
+}
+
+}  // namespace wile::dot11

@@ -1,0 +1,39 @@
+// The three-address 802.11 MAC header used by management and
+// (non-WDS) data frames (IEEE 802.11-2012 §8.2.4).
+#pragma once
+
+#include <cstdint>
+
+#include "dot11/frame_control.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/mac_address.hpp"
+
+namespace wile::dot11 {
+
+struct MacHeader {
+  static constexpr std::size_t kSize = 24;  // fc(2) dur(2) 3*addr(18) seq(2)
+
+  FrameControl fc;
+  std::uint16_t duration_id = 0;
+  MacAddress addr1;  // RA/DA
+  MacAddress addr2;  // TA/SA
+  MacAddress addr3;  // BSSID (mgmt), or DA/SA depending on to/from-DS
+  std::uint16_t sequence_control = 0;
+
+  [[nodiscard]] std::uint16_t sequence_number() const {
+    return static_cast<std::uint16_t>(sequence_control >> 4);
+  }
+  [[nodiscard]] std::uint8_t fragment_number() const {
+    return static_cast<std::uint8_t>(sequence_control & 0xf);
+  }
+  void set_sequence(std::uint16_t seq, std::uint8_t frag = 0) {
+    sequence_control = static_cast<std::uint16_t>((seq << 4) | (frag & 0xf));
+  }
+
+  void write_to(ByteWriter& w) const;
+  static MacHeader read_from(ByteReader& r);
+
+  friend bool operator==(const MacHeader&, const MacHeader&) = default;
+};
+
+}  // namespace wile::dot11

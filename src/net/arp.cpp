@@ -1,0 +1,61 @@
+#include "net/arp.hpp"
+
+namespace wile::net {
+
+Bytes ArpPacket::encode() const {
+  ByteWriter w(kSize);
+  w.u16be(1);       // hardware type: Ethernet
+  w.u16be(0x0800);  // protocol type: IPv4
+  w.u8(6);          // hardware size
+  w.u8(4);          // protocol size
+  w.u16be(static_cast<std::uint16_t>(op));
+  sender_mac.write_to(w);
+  sender_ip.write_to(w);
+  target_mac.write_to(w);
+  target_ip.write_to(w);
+  return w.take();
+}
+
+std::optional<ArpPacket> ArpPacket::decode(BytesView packet) {
+  if (packet.size() < kSize) return std::nullopt;
+  try {
+    ByteReader r{packet};
+    if (r.u16be() != 1) return std::nullopt;
+    if (r.u16be() != 0x0800) return std::nullopt;
+    if (r.u8() != 6) return std::nullopt;
+    if (r.u8() != 4) return std::nullopt;
+    ArpPacket out;
+    out.op = static_cast<Op>(r.u16be());
+    if (out.op != Op::Request && out.op != Op::Reply) return std::nullopt;
+    out.sender_mac = MacAddress::read_from(r);
+    out.sender_ip = Ipv4Address::read_from(r);
+    out.target_mac = MacAddress::read_from(r);
+    out.target_ip = Ipv4Address::read_from(r);
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+ArpPacket ArpPacket::request(const MacAddress& sender_mac, Ipv4Address sender_ip,
+                             Ipv4Address target_ip) {
+  ArpPacket p;
+  p.op = Op::Request;
+  p.sender_mac = sender_mac;
+  p.sender_ip = sender_ip;
+  p.target_ip = target_ip;
+  return p;
+}
+
+ArpPacket ArpPacket::reply(const MacAddress& sender_mac, Ipv4Address sender_ip,
+                           const MacAddress& target_mac, Ipv4Address target_ip) {
+  ArpPacket p;
+  p.op = Op::Reply;
+  p.sender_mac = sender_mac;
+  p.sender_ip = sender_ip;
+  p.target_mac = target_mac;
+  p.target_ip = target_ip;
+  return p;
+}
+
+}  // namespace wile::net

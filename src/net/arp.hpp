@@ -1,0 +1,36 @@
+// ARP for IPv4 over Ethernet-style hardware addresses (RFC 826).
+//
+// Before the paper's WiFi client can unicast its sensor reading it must
+// resolve the gateway's MAC: one ARP request + one ARP reply — two of the
+// "7 higher-layer frames" the paper counts in §3.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/mac_address.hpp"
+
+namespace wile::net {
+
+struct ArpPacket {
+  enum class Op : std::uint16_t { Request = 1, Reply = 2 };
+  static constexpr std::size_t kSize = 28;
+
+  Op op = Op::Request;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // zero in requests
+  Ipv4Address target_ip;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ArpPacket> decode(BytesView packet);
+
+  static ArpPacket request(const MacAddress& sender_mac, Ipv4Address sender_ip,
+                           Ipv4Address target_ip);
+  static ArpPacket reply(const MacAddress& sender_mac, Ipv4Address sender_ip,
+                         const MacAddress& target_mac, Ipv4Address target_ip);
+};
+
+}  // namespace wile::net

@@ -1,0 +1,164 @@
+#include "net/dhcp.hpp"
+
+namespace wile::net {
+
+namespace {
+constexpr std::uint32_t kDhcpMagic = 0x63825363;
+constexpr std::size_t kBootpFixedSize = 236;
+}  // namespace
+
+const DhcpOption* DhcpMessage::find_option(std::uint8_t code) const {
+  for (const auto& opt : options) {
+    if (opt.code == code) return &opt;
+  }
+  return nullptr;
+}
+
+std::optional<Ipv4Address> DhcpMessage::ip_option(std::uint8_t code) const {
+  const DhcpOption* opt = find_option(code);
+  if (opt == nullptr || opt->data.size() != 4) return std::nullopt;
+  ByteReader r{opt->data};
+  return Ipv4Address::read_from(r);
+}
+
+void DhcpMessage::add_ip_option(std::uint8_t code, Ipv4Address ip) {
+  ByteWriter w(4);
+  ip.write_to(w);
+  options.push_back(DhcpOption{code, w.take()});
+}
+
+void DhcpMessage::add_u32_option(std::uint8_t code, std::uint32_t value) {
+  ByteWriter w(4);
+  w.u32be(value);
+  options.push_back(DhcpOption{code, w.take()});
+}
+
+Bytes DhcpMessage::encode() const {
+  ByteWriter w(kBootpFixedSize + 16 + options.size() * 8);
+  const bool from_server =
+      type == DhcpMessageType::Offer || type == DhcpMessageType::Ack ||
+      type == DhcpMessageType::Nak;
+  w.u8(from_server ? 2 : 1);  // op: BOOTREQUEST / BOOTREPLY
+  w.u8(1);                    // htype: Ethernet
+  w.u8(6);                    // hlen
+  w.u8(0);                    // hops
+  w.u32be(xid);
+  w.u16be(0);                               // secs
+  w.u16be(broadcast_flag ? 0x8000 : 0x0000);  // flags
+  ciaddr.write_to(w);
+  yiaddr.write_to(w);
+  siaddr.write_to(w);
+  Ipv4Address{}.write_to(w);  // giaddr
+  chaddr.write_to(w);
+  w.zeros(10);   // chaddr padding
+  w.zeros(64);   // sname
+  w.zeros(128);  // file
+  w.u32be(kDhcpMagic);
+  w.u8(DhcpOption::kMessageType);
+  w.u8(1);
+  w.u8(static_cast<std::uint8_t>(type));
+  for (const auto& opt : options) {
+    w.u8(opt.code);
+    w.u8(static_cast<std::uint8_t>(opt.data.size()));
+    w.bytes(opt.data);
+  }
+  w.u8(DhcpOption::kEnd);
+  return w.take();
+}
+
+std::optional<DhcpMessage> DhcpMessage::decode(BytesView payload) {
+  if (payload.size() < kBootpFixedSize + 4) return std::nullopt;
+  try {
+    ByteReader r{payload};
+    DhcpMessage out;
+    r.u8();  // op (implied by message type option)
+    if (r.u8() != 1) return std::nullopt;
+    if (r.u8() != 6) return std::nullopt;
+    r.u8();  // hops
+    out.xid = r.u32be();
+    r.u16be();  // secs
+    out.broadcast_flag = (r.u16be() & 0x8000) != 0;
+    out.ciaddr = Ipv4Address::read_from(r);
+    out.yiaddr = Ipv4Address::read_from(r);
+    out.siaddr = Ipv4Address::read_from(r);
+    Ipv4Address::read_from(r);  // giaddr
+    out.chaddr = MacAddress::read_from(r);
+    r.skip(10 + 64 + 128);
+    if (r.u32be() != kDhcpMagic) return std::nullopt;
+
+    bool have_type = false;
+    while (!r.empty()) {
+      const std::uint8_t code = r.u8();
+      if (code == DhcpOption::kEnd) break;
+      if (code == 0) continue;  // pad
+      const std::uint8_t len = r.u8();
+      Bytes data = r.bytes_copy(len);
+      if (code == DhcpOption::kMessageType) {
+        if (data.size() != 1) return std::nullopt;
+        out.type = static_cast<DhcpMessageType>(data[0]);
+        have_type = true;
+      } else {
+        out.options.push_back(DhcpOption{code, std::move(data)});
+      }
+    }
+    if (!have_type) return std::nullopt;
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+DhcpMessage DhcpMessage::discover(std::uint32_t xid, const MacAddress& client) {
+  DhcpMessage m;
+  m.type = DhcpMessageType::Discover;
+  m.xid = xid;
+  m.chaddr = client;
+  DhcpOption prl{DhcpOption::kParameterRequestList,
+                 {DhcpOption::kSubnetMask, DhcpOption::kRouter, DhcpOption::kDnsServer}};
+  m.options.push_back(std::move(prl));
+  return m;
+}
+
+DhcpMessage DhcpMessage::offer(const DhcpMessage& discover_msg, Ipv4Address offered,
+                               Ipv4Address server_id, std::uint32_t lease_seconds) {
+  DhcpMessage m;
+  m.type = DhcpMessageType::Offer;
+  m.xid = discover_msg.xid;
+  m.chaddr = discover_msg.chaddr;
+  m.yiaddr = offered;
+  m.siaddr = server_id;
+  m.add_ip_option(DhcpOption::kServerId, server_id);
+  m.add_u32_option(DhcpOption::kLeaseTime, lease_seconds);
+  m.add_ip_option(DhcpOption::kSubnetMask, Ipv4Address{255, 255, 255, 0});
+  m.add_ip_option(DhcpOption::kRouter, server_id);
+  return m;
+}
+
+DhcpMessage DhcpMessage::request(const DhcpMessage& offer_msg, const MacAddress& client) {
+  DhcpMessage m;
+  m.type = DhcpMessageType::Request;
+  m.xid = offer_msg.xid;
+  m.chaddr = client;
+  m.add_ip_option(DhcpOption::kRequestedIp, offer_msg.yiaddr);
+  if (auto sid = offer_msg.ip_option(DhcpOption::kServerId)) {
+    m.add_ip_option(DhcpOption::kServerId, *sid);
+  }
+  return m;
+}
+
+DhcpMessage DhcpMessage::ack(const DhcpMessage& request_msg, Ipv4Address assigned,
+                             Ipv4Address server_id, std::uint32_t lease_seconds) {
+  DhcpMessage m;
+  m.type = DhcpMessageType::Ack;
+  m.xid = request_msg.xid;
+  m.chaddr = request_msg.chaddr;
+  m.yiaddr = assigned;
+  m.siaddr = server_id;
+  m.add_ip_option(DhcpOption::kServerId, server_id);
+  m.add_u32_option(DhcpOption::kLeaseTime, lease_seconds);
+  m.add_ip_option(DhcpOption::kSubnetMask, Ipv4Address{255, 255, 255, 0});
+  m.add_ip_option(DhcpOption::kRouter, server_id);
+  return m;
+}
+
+}  // namespace wile::net

@@ -1,0 +1,75 @@
+// DHCP (RFC 2131/2132) — the DISCOVER/OFFER/REQUEST/ACK exchange.
+//
+// Four of the "7 higher-layer frames" the paper counts before a WiFi
+// client can transmit (§3.1) are this exchange. We implement the BOOTP
+// wire format with the options the exchange needs; the AP module runs a
+// single-subnet DHCP server on top.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/mac_address.hpp"
+
+namespace wile::net {
+
+enum class DhcpMessageType : std::uint8_t {
+  Discover = 1,
+  Offer = 2,
+  Request = 3,
+  Decline = 4,
+  Ack = 5,
+  Nak = 6,
+  Release = 7,
+};
+
+struct DhcpOption {
+  enum : std::uint8_t {
+    kSubnetMask = 1,
+    kRouter = 3,
+    kDnsServer = 6,
+    kRequestedIp = 50,
+    kLeaseTime = 51,
+    kMessageType = 53,
+    kServerId = 54,
+    kParameterRequestList = 55,
+    kEnd = 255,
+  };
+  std::uint8_t code = 0;
+  Bytes data;
+};
+
+struct DhcpMessage {
+  static constexpr std::uint16_t kServerPort = 67;
+  static constexpr std::uint16_t kClientPort = 68;
+
+  DhcpMessageType type = DhcpMessageType::Discover;
+  std::uint32_t xid = 0;
+  bool broadcast_flag = true;
+  Ipv4Address ciaddr;  // client's current address (REQUEST when renewing)
+  Ipv4Address yiaddr;  // "your" address (server -> client)
+  Ipv4Address siaddr;  // next server
+  MacAddress chaddr;   // client hardware address
+  std::vector<DhcpOption> options;
+
+  [[nodiscard]] const DhcpOption* find_option(std::uint8_t code) const;
+  [[nodiscard]] std::optional<Ipv4Address> ip_option(std::uint8_t code) const;
+  void add_ip_option(std::uint8_t code, Ipv4Address ip);
+  void add_u32_option(std::uint8_t code, std::uint32_t value);
+
+  /// Serialise to the UDP payload (BOOTP fixed header + magic + options).
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<DhcpMessage> decode(BytesView payload);
+
+  // -- Exchange constructors -------------------------------------------------
+  static DhcpMessage discover(std::uint32_t xid, const MacAddress& client);
+  static DhcpMessage offer(const DhcpMessage& discover_msg, Ipv4Address offered,
+                           Ipv4Address server_id, std::uint32_t lease_seconds);
+  static DhcpMessage request(const DhcpMessage& offer_msg, const MacAddress& client);
+  static DhcpMessage ack(const DhcpMessage& request_msg, Ipv4Address assigned,
+                         Ipv4Address server_id, std::uint32_t lease_seconds);
+};
+
+}  // namespace wile::net

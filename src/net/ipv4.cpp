@@ -1,0 +1,97 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+
+namespace wile::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view dotted) {
+  std::array<std::uint32_t, 4> parts{};
+  std::size_t part = 0;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (char c : dotted) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || part >= 3) return std::nullopt;
+      parts[part++] = cur;
+      cur = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || part != 3) return std::nullopt;
+  parts[3] = cur;
+  return Ipv4Address{static_cast<std::uint8_t>(parts[0]), static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]), static_cast<std::uint8_t>(parts[3])};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xff, (addr_ >> 16) & 0xff,
+                (addr_ >> 8) & 0xff, addr_ & 0xff);
+  return buf;
+}
+
+std::uint16_t inet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes Ipv4Header::encode(BytesView payload) const {
+  ByteWriter w(kSize + payload.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(dscp);
+  w.u16be(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16be(identification);
+  w.u16be(0);  // flags/fragment offset
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16be(0);  // checksum placeholder
+  source.write_to(w);
+  destination.write_to(w);
+  const std::uint16_t csum = inet_checksum(w.view().subspan(0, kSize));
+  w.patch_u16be(10, csum);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<Ipv4Header::Parsed> Ipv4Header::decode(BytesView packet) {
+  if (packet.size() < kSize) return std::nullopt;
+  try {
+    ByteReader r{packet};
+    const std::uint8_t ver_ihl = r.u8();
+    if ((ver_ihl >> 4) != 4) return std::nullopt;
+    const std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+    if (ihl_bytes < kSize || packet.size() < ihl_bytes) return std::nullopt;
+    Parsed out;
+    out.header.dscp = r.u8();
+    const std::uint16_t total_len = r.u16be();
+    if (total_len < ihl_bytes || total_len > packet.size()) return std::nullopt;
+    out.header.identification = r.u16be();
+    r.u16be();  // flags/frag
+    out.header.ttl = r.u8();
+    out.header.protocol = static_cast<IpProto>(r.u8());
+    r.u16be();  // checksum (validated over the whole header below)
+    out.header.source = Ipv4Address::read_from(r);
+    out.header.destination = Ipv4Address::read_from(r);
+    r.skip(ihl_bytes - kSize);  // options
+    out.checksum_ok = inet_checksum(packet.subspan(0, ihl_bytes)) == 0;
+    const BytesView payload = packet.subspan(ihl_bytes, total_len - ihl_bytes);
+    out.payload.assign(payload.begin(), payload.end());
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace wile::net

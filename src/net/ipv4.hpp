@@ -1,0 +1,71 @@
+// IPv4 address type and header codec (RFC 791).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  static constexpr Ipv4Address any() { return Ipv4Address{0u}; }
+  static constexpr Ipv4Address broadcast() { return Ipv4Address{0xffffffffu}; }
+  static std::optional<Ipv4Address> parse(std::string_view dotted);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  [[nodiscard]] constexpr bool is_any() const { return addr_ == 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  void write_to(ByteWriter& w) const { w.u32be(addr_); }
+  static Ipv4Address read_from(ByteReader& r) { return Ipv4Address{r.u32be()}; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+enum class IpProto : std::uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint8_t dscp = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::Udp;
+  Ipv4Address source;
+  Ipv4Address destination;
+
+  /// Serialise header + payload; total length and checksum are computed.
+  [[nodiscard]] Bytes encode(BytesView payload) const;
+
+  struct Parsed;
+  static std::optional<Parsed> decode(BytesView packet);
+};
+
+struct Ipv4Header::Parsed {
+  Ipv4Header header;
+  Bytes payload;
+  bool checksum_ok = false;
+};
+
+/// RFC 1071 ones-complement checksum over `data` (used by IPv4 and UDP).
+std::uint16_t inet_checksum(BytesView data);
+
+}  // namespace wile::net

@@ -1,0 +1,75 @@
+#include "net/udp.hpp"
+
+namespace wile::net {
+
+namespace {
+std::uint16_t udp_checksum(BytesView udp_segment, Ipv4Address src_ip, Ipv4Address dst_ip) {
+  ByteWriter pseudo(12 + udp_segment.size());
+  src_ip.write_to(pseudo);
+  dst_ip.write_to(pseudo);
+  pseudo.u8(0);
+  pseudo.u8(static_cast<std::uint8_t>(IpProto::Udp));
+  pseudo.u16be(static_cast<std::uint16_t>(udp_segment.size()));
+  pseudo.bytes(udp_segment);
+  std::uint16_t csum = inet_checksum(pseudo.view());
+  // RFC 768: a computed zero is transmitted as all-ones.
+  if (csum == 0) csum = 0xffff;
+  return csum;
+}
+}  // namespace
+
+Bytes UdpDatagram::encode(Ipv4Address src_ip, Ipv4Address dst_ip) const {
+  ByteWriter w(kHeaderSize + payload.size());
+  w.u16be(source_port);
+  w.u16be(dest_port);
+  w.u16be(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+  w.u16be(0);  // checksum placeholder
+  w.bytes(payload);
+  Bytes out = w.take();
+  const std::uint16_t csum = udp_checksum(out, src_ip, dst_ip);
+  out[6] = static_cast<std::uint8_t>(csum >> 8);
+  out[7] = static_cast<std::uint8_t>(csum & 0xff);
+  return out;
+}
+
+std::optional<UdpDatagram::Parsed> UdpDatagram::decode(BytesView segment, Ipv4Address src_ip,
+                                                       Ipv4Address dst_ip) {
+  if (segment.size() < kHeaderSize) return std::nullopt;
+  try {
+    ByteReader r{segment};
+    Parsed out;
+    out.datagram.source_port = r.u16be();
+    out.datagram.dest_port = r.u16be();
+    const std::uint16_t len = r.u16be();
+    if (len < kHeaderSize || len > segment.size()) return std::nullopt;
+    const std::uint16_t wire_csum = r.u16be();
+    const BytesView payload = segment.subspan(kHeaderSize, len - kHeaderSize);
+    out.datagram.payload.assign(payload.begin(), payload.end());
+    if (wire_csum == 0) {
+      out.checksum_ok = true;  // checksum not used by sender
+    } else {
+      // Re-checksum with the checksum field zeroed.
+      Bytes copy(segment.begin(), segment.begin() + len);
+      copy[6] = copy[7] = 0;
+      out.checksum_ok = udp_checksum(copy, src_ip, dst_ip) == wire_csum;
+    }
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+Bytes udp_packet(Ipv4Address src_ip, std::uint16_t src_port, Ipv4Address dst_ip,
+                 std::uint16_t dst_port, BytesView payload) {
+  UdpDatagram d;
+  d.source_port = src_port;
+  d.dest_port = dst_port;
+  d.payload.assign(payload.begin(), payload.end());
+  Ipv4Header ip;
+  ip.source = src_ip;
+  ip.destination = dst_ip;
+  ip.protocol = IpProto::Udp;
+  return ip.encode(d.encode(src_ip, dst_ip));
+}
+
+}  // namespace wile::net

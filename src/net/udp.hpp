@@ -1,0 +1,36 @@
+// UDP datagram codec with the IPv4 pseudo-header checksum (RFC 768).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace wile::net {
+
+struct UdpDatagram {
+  static constexpr std::size_t kHeaderSize = 8;
+
+  std::uint16_t source_port = 0;
+  std::uint16_t dest_port = 0;
+  Bytes payload;
+
+  /// Serialise with checksum over the IPv4 pseudo-header.
+  [[nodiscard]] Bytes encode(Ipv4Address src_ip, Ipv4Address dst_ip) const;
+
+  struct Parsed;
+  static std::optional<Parsed> decode(BytesView segment, Ipv4Address src_ip,
+                                      Ipv4Address dst_ip);
+};
+
+struct UdpDatagram::Parsed {
+  UdpDatagram datagram;
+  bool checksum_ok = false;
+};
+
+/// Build a complete IPv4+UDP packet.
+Bytes udp_packet(Ipv4Address src_ip, std::uint16_t src_port, Ipv4Address dst_ip,
+                 std::uint16_t dst_port, BytesView payload);
+
+}  // namespace wile::net

@@ -1,0 +1,49 @@
+#include "phy/airtime.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wile::phy {
+
+Duration frame_airtime(std::size_t mpdu_bytes, WifiRate rate, Band band) {
+  const RateInfo& info = rate_info(rate);
+  // The 6 us signal extension exists only in the 2.4 GHz band.
+  const double signal_ext_us = band == Band::G2_4 ? 6.0 : 0.0;
+  double us = 0.0;
+  switch (info.modulation) {
+    case Modulation::Dsss: {
+      if (band == Band::G5) {
+        throw std::invalid_argument("DSSS rates are not defined at 5 GHz");
+      }
+      // Long preamble (144 us) + PLCP header (48 us), both at 1 Mbps.
+      constexpr double kPreamblePlcpUs = 192.0;
+      us = kPreamblePlcpUs + mpdu_bits(mpdu_bytes) / info.bits_per_us;
+      break;
+    }
+    case Modulation::Ofdm: {
+      // 16 us preamble + 4 us SIGNAL + data symbols (+ signal extension
+      // at 2.4 GHz). SERVICE(16) + TAIL(6) bits ride with the payload.
+      const double payload_bits = 16.0 + 6.0 + mpdu_bits(mpdu_bytes);
+      const double n_sym = std::ceil(payload_bits / static_cast<double>(info.n_dbps));
+      us = 16.0 + 4.0 + 4.0 * n_sym + signal_ext_us;
+      break;
+    }
+    case Modulation::HtMixed: {
+      // L-STF(8) + L-LTF(8) + L-SIG(4) + HT-SIG(8) + HT-STF(4) +
+      // HT-LTF(4) = 36 us preamble for one spatial stream.
+      const double payload_bits = 16.0 + 6.0 + mpdu_bits(mpdu_bytes);
+      const double n_sym = std::ceil(payload_bits / static_cast<double>(info.n_dbps));
+      const double t_sym = info.short_gi ? 3.6 : 4.0;
+      us = 36.0 + t_sym * n_sym + signal_ext_us;
+      break;
+    }
+  }
+  return from_seconds(us / 1e6);
+}
+
+Duration ack_airtime(Band band) {
+  constexpr std::size_t kAckBytes = 14;  // FC(2) Dur(2) RA(6) FCS(4)
+  return frame_airtime(kAckBytes, kControlResponseRate, band);
+}
+
+}  // namespace wile::phy

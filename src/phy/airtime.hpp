@@ -1,0 +1,48 @@
+// 802.11 frame airtime model and MAC interframe timing.
+//
+// Airtime is what couples frame sizes to energy: E_tx = P_tx * airtime.
+// We implement the standard's per-PPDU duration formulas:
+//
+//  * DSSS/CCK (802.11b): 192 us long preamble+PLCP (or 96 us short),
+//    then payload bytes at the data rate.
+//  * Legacy OFDM (802.11g): 16 us preamble + 4 us SIGNAL +
+//    4 us * ceil((16 + 6 + 8*len) / N_DBPS) + 6 us signal extension
+//    (2.4 GHz band).
+//  * HT mixed mode (802.11n): 20 us legacy preamble + 8 us HT-SIG +
+//    4 us HT-STF + 4 us HT-LTF, then 4 us (or 3.6 us SGI) symbols.
+//
+// IEEE 802.11-2012 §17/§18/§20.
+#pragma once
+
+#include "phy/rates.hpp"
+#include "util/units.hpp"
+
+namespace wile::phy {
+
+/// 2.4 GHz ERP MAC timing constants (us).
+struct MacTiming {
+  static constexpr Duration kSifs = Duration{10};
+  static constexpr Duration kSlot = Duration{9};   // ERP short slot
+  static constexpr Duration kDifs = Duration{28};  // SIFS + 2*slot
+  static constexpr int kCwMin = 15;
+  static constexpr int kCwMax = 1023;
+  /// Dot11 retry limit used by our MAC.
+  static constexpr int kRetryLimit = 7;
+};
+
+/// Duration on air of a PPDU carrying `mpdu_bytes` (MAC header + body +
+/// FCS) at `rate`. Includes preamble/PLCP per the modulation family.
+/// Throws std::invalid_argument for DSSS rates at 5 GHz (not defined
+/// there).
+Duration frame_airtime(std::size_t mpdu_bytes, WifiRate rate, Band band = Band::G2_4);
+
+/// Airtime of an 802.11 ACK control frame (14 bytes) at the control
+/// response rate.
+Duration ack_airtime(Band band = Band::G2_4);
+
+/// Bits that count toward goodput within the PPDU (MPDU bits only).
+inline double mpdu_bits(std::size_t mpdu_bytes) {
+  return static_cast<double>(mpdu_bytes) * 8.0;
+}
+
+}  // namespace wile::phy

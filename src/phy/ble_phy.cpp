@@ -1,0 +1,6 @@
+#include "phy/ble_phy.hpp"
+
+namespace wile::phy {
+// Constants only; this TU anchors the header in the library.
+static_assert(BlePhy::pdu_airtime(0).count() == 80);  // 10 bytes * 8 us
+}  // namespace wile::phy

@@ -1,0 +1,34 @@
+// Bluetooth Low Energy 4.x PHY timing (1 Mbps GFSK).
+//
+// On-air format: preamble (1 B) + access address (4 B) + PDU header (2 B)
+// + payload (<= 37 B advertising / <= 27 B data in 4.0/4.1) + CRC (3 B),
+// all at 1 us per bit. T_IFS between packets of an event is 150 us.
+// Bluetooth Core v4.2 Vol 6 Part B.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace wile::phy {
+
+struct BlePhy {
+  static constexpr double kBitsPerUs = 1.0;  // BLE 1M
+  static constexpr std::size_t kPreambleBytes = 1;
+  static constexpr std::size_t kAccessAddressBytes = 4;
+  static constexpr std::size_t kHeaderBytes = 2;
+  static constexpr std::size_t kCrcBytes = 3;
+  static constexpr std::size_t kMaxAdvPayload = 37;   // AdvA(6) + AdvData(<=31)
+  static constexpr std::size_t kMaxAdvData = 31;
+  static constexpr Duration kTifs = Duration{150};
+
+  /// Airtime of a PDU with `payload_bytes` of PDU payload.
+  static constexpr Duration pdu_airtime(std::size_t payload_bytes) {
+    const std::size_t on_air =
+        kPreambleBytes + kAccessAddressBytes + kHeaderBytes + payload_bytes + kCrcBytes;
+    return Duration{static_cast<std::int64_t>(
+        static_cast<double>(on_air) * 8.0 / kBitsPerUs)};
+  }
+};
+
+}  // namespace wile::phy

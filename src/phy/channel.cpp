@@ -1,0 +1,83 @@
+#include "phy/channel.hpp"
+
+#include <cmath>
+
+namespace wile::phy {
+
+namespace {
+
+/// Logistic PER curve: ~0.5 at the threshold, rolling off over ~2 dB.
+/// Scaled to frame length relative to the 1000-byte reference the
+/// sensitivity thresholds are quoted for.
+double logistic_per(double snr_db, double threshold_db, std::size_t mpdu_bytes) {
+  constexpr double kSlopePerDb = 2.0;
+  const double x = (snr_db - threshold_db) * kSlopePerDb;
+  const double per_ref = 1.0 / (1.0 + std::exp(x));
+  // Convert the reference PER to a per-bit success probability and
+  // re-scale to the actual frame length.
+  constexpr double kRefBits = 1000.0 * 8.0;
+  const double bit_success = std::pow(1.0 - per_ref, 1.0 / kRefBits);
+  const double bits = static_cast<double>(mpdu_bytes) * 8.0;
+  return 1.0 - std::pow(bit_success, bits);
+}
+
+double bisect_range(double lo, double hi, const auto& per_at, double target_per) {
+  // PER is monotone increasing in distance; find the crossing.
+  if (per_at(hi) < target_per) return hi;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (per_at(mid) < target_per) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+double Channel::rx_power_dbm(double tx_power_dbm, double distance_m) const {
+  const double d = std::max(distance_m, 0.1);
+  const double path_loss =
+      config_.reference_loss_db + 10.0 * config_.path_loss_exponent * std::log10(d);
+  return tx_power_dbm - path_loss;
+}
+
+double Channel::packet_error_rate(double snr, WifiRate rate, std::size_t mpdu_bytes) const {
+  return logistic_per(snr, rate_info(rate).min_snr_db, mpdu_bytes);
+}
+
+double Channel::max_range_m(double tx_power_dbm, WifiRate rate, std::size_t mpdu_bytes,
+                            double target_per) const {
+  const auto per_at = [&](double d) {
+    return packet_error_rate(snr_db(tx_power_dbm, d), rate, mpdu_bytes);
+  };
+  return bisect_range(0.1, 10'000.0, per_at, target_per);
+}
+
+bool Channel::frame_lost(Rng& rng, double tx_power_dbm, double distance_m, WifiRate rate,
+                         std::size_t mpdu_bytes) const {
+  double snr = snr_db(tx_power_dbm, distance_m);
+  if (config_.shadowing_sigma_db > 0.0) {
+    snr += rng.gaussian() * config_.shadowing_sigma_db;
+  }
+  return rng.chance(packet_error_rate(snr, rate, mpdu_bytes));
+}
+
+double Channel::ble_packet_error_rate(double snr, std::size_t pdu_bytes) const {
+  constexpr double kBleThresholdDb = 25.0;  // matches MCS7-class sensitivity:
+  // BLE at 0 dBm reaches "a few meters" like 72 Mbps WiFi (paper §5.4),
+  // so the two links share a detection threshold in this model.
+  return logistic_per(snr, kBleThresholdDb, pdu_bytes);
+}
+
+double Channel::ble_max_range_m(double tx_power_dbm, std::size_t pdu_bytes,
+                                double target_per) const {
+  const auto per_at = [&](double d) {
+    return ble_packet_error_rate(snr_db(tx_power_dbm, d), pdu_bytes);
+  };
+  return bisect_range(0.1, 10'000.0, per_at, target_per);
+}
+
+}  // namespace wile::phy

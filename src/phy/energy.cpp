@@ -1,0 +1,32 @@
+#include "phy/energy.hpp"
+
+#include "phy/airtime.hpp"
+
+namespace wile::phy {
+
+Joules wifi_energy_per_bit(WifiRate rate, Watts tx_power) {
+  const double bits_per_second = rate_info(rate).bits_per_us * 1e6;
+  return {tx_power.value / bits_per_second};
+}
+
+Joules ble_raw_energy_per_bit(Watts tx_power) {
+  const double bits_per_second = BlePhy::kBitsPerUs * 1e6;
+  return {tx_power.value / bits_per_second};
+}
+
+Joules ble_effective_energy_per_bit(std::size_t adv_data_bytes, int channels,
+                                    Watts tx_power) {
+  // ADV payload = AdvA (6 bytes) + AdvData.
+  const Duration per_channel = BlePhy::pdu_airtime(6 + adv_data_bytes);
+  const Joules event_energy = tx_power * Duration{per_channel.count() * channels};
+  const double useful_bits = static_cast<double>(adv_data_bytes) * 8.0;
+  return {event_energy.value / useful_bits};
+}
+
+Joules wifi_effective_energy_per_bit(std::size_t mpdu_bytes, WifiRate rate,
+                                     Watts tx_power) {
+  const Joules frame_energy = tx_power * frame_airtime(mpdu_bytes, rate);
+  return {frame_energy.value / mpdu_bits(mpdu_bytes)};
+}
+
+}  // namespace wile::phy

@@ -1,0 +1,55 @@
+#include "phy/rates.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace wile::phy {
+
+namespace {
+
+// min_snr_db values follow the usual receiver-sensitivity ladder
+// (≈ -94 dBm at 1 Mbps up to ≈ -70 dBm at MCS7 over a -95 dBm noise
+// floor). They feed the SNR -> PER link model in channel.cpp.
+constexpr std::array<RateInfo, 21> kRates{{
+    {WifiRate::B1, Modulation::Dsss, 1.0, 0, false, 1.0, "1M"},
+    {WifiRate::B2, Modulation::Dsss, 2.0, 0, false, 3.0, "2M"},
+    {WifiRate::B5_5, Modulation::Dsss, 5.5, 0, false, 5.0, "5.5M"},
+    {WifiRate::B11, Modulation::Dsss, 11.0, 0, false, 8.0, "11M"},
+    {WifiRate::G6, Modulation::Ofdm, 6.0, 24, false, 5.0, "6M"},
+    {WifiRate::G9, Modulation::Ofdm, 9.0, 36, false, 6.0, "9M"},
+    {WifiRate::G12, Modulation::Ofdm, 12.0, 48, false, 8.0, "12M"},
+    {WifiRate::G18, Modulation::Ofdm, 18.0, 72, false, 10.0, "18M"},
+    {WifiRate::G24, Modulation::Ofdm, 24.0, 96, false, 13.0, "24M"},
+    {WifiRate::G36, Modulation::Ofdm, 36.0, 144, false, 17.0, "36M"},
+    {WifiRate::G48, Modulation::Ofdm, 48.0, 192, false, 21.0, "48M"},
+    {WifiRate::G54, Modulation::Ofdm, 54.0, 216, false, 23.0, "54M"},
+    {WifiRate::Mcs0, Modulation::HtMixed, 6.5, 26, false, 5.0, "mcs0"},
+    {WifiRate::Mcs1, Modulation::HtMixed, 13.0, 52, false, 8.0, "mcs1"},
+    {WifiRate::Mcs2, Modulation::HtMixed, 19.5, 78, false, 11.0, "mcs2"},
+    {WifiRate::Mcs3, Modulation::HtMixed, 26.0, 104, false, 14.0, "mcs3"},
+    {WifiRate::Mcs4, Modulation::HtMixed, 39.0, 156, false, 18.0, "mcs4"},
+    {WifiRate::Mcs5, Modulation::HtMixed, 52.0, 208, false, 22.0, "mcs5"},
+    {WifiRate::Mcs6, Modulation::HtMixed, 58.5, 234, false, 24.0, "mcs6"},
+    {WifiRate::Mcs7, Modulation::HtMixed, 65.0, 260, false, 25.0, "mcs7"},
+    {WifiRate::Mcs7Sgi, Modulation::HtMixed, 72.2, 260, true, 25.0, "72M"},
+}};
+
+}  // namespace
+
+const RateInfo& rate_info(WifiRate rate) {
+  for (const auto& info : kRates) {
+    if (info.rate == rate) return info;
+  }
+  throw std::logic_error("rate_info: unknown rate");
+}
+
+std::span<const RateInfo> all_rates() { return kRates; }
+
+std::optional<WifiRate> parse_rate(std::string_view name) {
+  for (const auto& info : kRates) {
+    if (info.name == name) return info.rate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wile::phy

@@ -1,0 +1,67 @@
+// Battery-lifetime projection helpers.
+//
+// The paper's motivation is battery life ("BLE modules can run on a
+// small button battery for over a year", §5.4). These helpers turn the
+// simulator's measured average power into lifetime estimates, with the
+// two non-idealities that matter at microamp loads: usable-capacity
+// derating and self-discharge.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace wile::power {
+
+struct BatteryModel {
+  /// Nameplate capacity in milliamp-hours (CR2032 ≈ 225 mAh).
+  double capacity_mah = 225.0;
+  /// Nominal cell voltage the load runs from.
+  Volts voltage{3.0};
+  /// Fraction of the nameplate capacity actually extractable before the
+  /// voltage sags below the device's brown-out (typ. 0.8-0.9 for coin
+  /// cells at low drain).
+  double usable_fraction = 0.85;
+  /// Self-discharge, fraction of capacity per year (coin cells ~1 %/yr).
+  double self_discharge_per_year = 0.01;
+
+  /// Total usable energy.
+  [[nodiscard]] Joules usable_energy() const {
+    return Joules{capacity_mah * 1e-3 * 3600.0 * voltage.value * usable_fraction};
+  }
+
+  /// Equivalent constant power drained by self-discharge.
+  [[nodiscard]] Watts self_discharge_power() const {
+    constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+    const Joules per_year{capacity_mah * 1e-3 * 3600.0 * voltage.value *
+                          self_discharge_per_year};
+    return Watts{per_year.value / kSecondsPerYear};
+  }
+
+  /// Projected lifetime under a constant average load. Returns seconds;
+  /// callers format as days/years.
+  [[nodiscard]] double lifetime_seconds(Watts average_load) const {
+    const Watts total = average_load + self_discharge_power();
+    if (total.value <= 0.0) return 0.0;
+    return usable_energy().value / total.value;
+  }
+
+  [[nodiscard]] double lifetime_days(Watts average_load) const {
+    return lifetime_seconds(average_load) / 86'400.0;
+  }
+  [[nodiscard]] double lifetime_years(Watts average_load) const {
+    return lifetime_seconds(average_load) / (365.25 * 86'400.0);
+  }
+
+  /// Common cells.
+  static BatteryModel cr2032() { return BatteryModel{}; }
+  static BatteryModel aa_pair() {
+    // Two alkaline AAs in series: ~2500 mAh at 3.0 V, more usable
+    // capacity, slightly higher self-discharge.
+    BatteryModel b;
+    b.capacity_mah = 2500.0;
+    b.usable_fraction = 0.9;
+    b.self_discharge_per_year = 0.02;
+    return b;
+  }
+};
+
+}  // namespace wile::power

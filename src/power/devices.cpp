@@ -1,0 +1,5 @@
+#include "power/devices.hpp"
+
+namespace wile::power {
+// Profiles are constant data; this TU anchors the header in the library.
+}  // namespace wile::power

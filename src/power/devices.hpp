@@ -1,0 +1,86 @@
+// Calibrated device power profiles.
+//
+// Esp32PowerProfile reproduces the prototype platform of the paper
+// (§5.1): ESP32 at 3.3 V, CPU pinned to 80 MHz, DFS + automatic light
+// sleep enabled, radio at 0 dBm. Cc2541PowerProfile reproduces the
+// TI CC2541 BLE reference whose numbers the paper takes from the
+// manufacturer's measurement report (TI SWRA347a), at 3.0 V.
+//
+// Every figure here is either quoted directly by the paper (deep sleep
+// 2.5 uA, light sleep 0.8 mA, automatic light sleep ~5 mA class, BLE
+// idle 1.1 uA) or calibrated so the simulated protocol exchanges land on
+// the paper's Table 1 energies. EXPERIMENTS.md records the residuals.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace wile::power {
+
+struct Esp32PowerProfile {
+  Volts supply{3.3};
+
+  // --- quiescent states (paper §5.1 / Table 1) -----------------------------
+  Amps deep_sleep = microamps(2.5);
+  Amps light_sleep = milliamps(0.8);
+  /// Automatic light sleep while associated, waking for every 3rd beacon
+  /// (WiFi-PS idle draw; Table 1 reports 4500 uA).
+  Amps auto_light_sleep_assoc = milliamps(4.5);
+
+  // --- active states --------------------------------------------------------
+  /// CPU running at 80 MHz, radio off.
+  Amps cpu_active = milliamps(40.0);
+  /// Radio listening / receiving.
+  Amps radio_rx = milliamps(110.0);
+  /// Radio transmitting HT MCS frames at 0 dBm (0.6 W at 3.3 V; see
+  /// phy/energy.hpp). This is the rate Wi-LE injects at.
+  Amps radio_tx = milliamps(181.8);
+  /// Radio transmitting legacy (DSSS/OFDM) frames — management traffic
+  /// goes out at higher RF power for robustness, which is where the
+  /// ~250 mA spikes of Fig. 3a come from (ESP32 datasheet: 802.11b TX
+  /// at +19.5 dBm draws ~240 mA).
+  Amps radio_tx_legacy = milliamps(240.0);
+  /// DFS + auto light sleep while waiting on network-layer replies
+  /// (the 20-30 mA plateau of Fig. 3a's DHCP/ARP phase).
+  Amps dfs_idle_wait = milliamps(26.0);
+
+  // --- firmware phase durations (calibrated to Fig. 3) ----------------------
+  /// Deep-sleep wake to CPU running: flash read + clock bring-up.
+  Duration boot_from_deep_sleep = msec(180);
+  /// WiFi stack + RF calibration when preparing to associate as a client
+  /// (Fig. 3a "MC/WiFi init" runs 0.2-0.85 s; boot + this).
+  Duration wifi_client_init = msec(495);
+  /// WiFi init when only injection is needed (Fig. 3b's shorter init:
+  /// "it can simply enable the WiFi radio to inject a packet").
+  Duration wifi_inject_init = msec(120);
+  /// Supplicant-side key derivation and 4-way handshake compute time.
+  Duration wpa2_crypto_time = msec(150);
+  /// PA ramp + frame DMA immediately around a transmission; drawn at
+  /// radio_tx. Calibrated so one Wi-LE beacon costs ~84 uJ (Table 1).
+  Duration tx_ramp = usec(87);
+  /// Waking from automatic light sleep to service a queued TX (WiFi-PS).
+  Duration ps_wake_time = msec(30);
+  /// Driver/firmware processing around a PS-mode transmission.
+  Duration ps_tx_processing = msec(120);
+  /// Shutting the stack down before re-entering deep sleep.
+  Duration shutdown_time = msec(25);
+};
+
+struct Cc2541PowerProfile {
+  Volts supply{3.0};
+
+  /// Sleep with RAM retention (Table 1 reports 1.1 uA idle for BLE).
+  Amps sleep = microamps(1.1);
+  Amps wake_up = milliamps(6.0);
+  Amps pre_processing = milliamps(7.4);
+  Amps radio_rx = milliamps(14.7);
+  Amps radio_tx = milliamps(17.5);  // 0 dBm
+  Amps post_processing = milliamps(7.4);
+  Amps ifs_idle = milliamps(7.0);
+
+  // --- connection event phase durations (TI SWRA347a) ----------------------
+  Duration wake_up_time = usec(400);
+  Duration pre_processing_time = usec(340);
+  Duration post_processing_time = usec(1370);
+};
+
+}  // namespace wile::power

@@ -1,0 +1,59 @@
+// Couples firmware phases and radio activity to a PowerTimeline.
+//
+// Firmware code declares a baseline current for its current phase
+// ("MC/WiFi init" at CPU-active, "DHCP/ARP" at the DFS idle plateau...);
+// transmissions overlay the TX current for their airtime plus the PA
+// ramp, then fall back to the phase baseline. This is what turns a
+// protocol exchange into the Figure-3 current trace.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "power/timeline.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wile::power {
+
+class RadioPowerTracker {
+ public:
+  RadioPowerTracker(sim::Scheduler& scheduler, PowerTimeline& timeline, Amps tx_current,
+                    Duration tx_ramp)
+      : scheduler_(scheduler),
+        timeline_(timeline),
+        tx_current_(tx_current),
+        tx_ramp_(tx_ramp) {}
+
+  /// Enter a firmware phase drawing `baseline` until further notice.
+  void set_phase(Amps baseline, std::string label) {
+    baseline_ = baseline;
+    label_ = std::move(label);
+    if (tx_nesting_ == 0) timeline_.set_current(scheduler_.now(), baseline_, label_);
+  }
+
+  [[nodiscard]] const std::string& phase_label() const { return label_; }
+
+  /// A transmission starts now and occupies the air for `airtime`; the PA
+  /// stays hot for the configured ramp after it. `current` overrides the
+  /// default TX draw (legacy-rate frames burn more on the real chip).
+  void on_tx_start(Duration airtime, std::optional<Amps> current = std::nullopt) {
+    ++tx_nesting_;
+    timeline_.set_current(scheduler_.now(), current.value_or(tx_current_), label_);
+    scheduler_.schedule_in(airtime + tx_ramp_, [this] {
+      if (--tx_nesting_ == 0) {
+        timeline_.set_current(scheduler_.now(), baseline_, label_);
+      }
+    });
+  }
+
+ private:
+  sim::Scheduler& scheduler_;
+  PowerTimeline& timeline_;
+  Amps tx_current_;
+  Duration tx_ramp_;
+  Amps baseline_{};
+  std::string label_ = "Sleep";
+  int tx_nesting_ = 0;
+};
+
+}  // namespace wile::power

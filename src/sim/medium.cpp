@@ -1,0 +1,145 @@
+#include "sim/medium.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wile::sim {
+
+double distance_m(const Position& a, const Position& b) {
+  const double dx = a.x_m - b.x_m;
+  const double dy = a.y_m - b.y_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+NodeId Medium::attach(MediumClient* client, Position position) {
+  if (client == nullptr) throw std::invalid_argument("Medium::attach: null client");
+  nodes_.push_back(NodeEntry{client, position, false});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Medium::set_position(NodeId id, Position position) {
+  nodes_.at(id).position = position;
+}
+
+Position Medium::position(NodeId id) const { return nodes_.at(id).position; }
+
+double Medium::rx_power_at(const ActiveTx& tx, NodeId listener) const {
+  const double d = distance_m(nodes_[tx.transmitter].position, nodes_[listener].position);
+  return channel_.rx_power_dbm(tx.tx_power_dbm, d);
+}
+
+bool Medium::carrier_busy(NodeId listener) const {
+  if (nodes_.at(listener).transmitting) return true;
+  for (const auto& tx : active_) {
+    if (tx.transmitter == listener) continue;
+    if (rx_power_at(tx, listener) >= kCarrierSenseDbm) return true;
+  }
+  return false;
+}
+
+bool Medium::transmitting(NodeId id) const { return nodes_.at(id).transmitting; }
+
+void Medium::transmit(NodeId transmitter, TxRequest request) {
+  NodeEntry& node = nodes_.at(transmitter);
+  if (node.transmitting) {
+    throw std::logic_error("Medium::transmit: node already transmitting");
+  }
+  node.transmitting = true;
+  ++stats_.transmissions;
+
+  ActiveTx tx;
+  tx.transmitter = transmitter;
+  tx.start = scheduler_.now();
+  tx.end = scheduler_.now() + request.airtime;
+  tx.tx_power_dbm = request.tx_power_dbm;
+
+  // Record mutual interference with everything already in the air.
+  // Receiver-side audibility is judged at delivery time.
+  for (auto& other : active_) {
+    other.interferers.push_back({transmitter, request.tx_power_dbm});
+    tx.interferers.push_back({other.transmitter, other.tx_power_dbm});
+  }
+  tx.id = next_tx_id_++;
+  active_.push_back(tx);
+
+  const std::uint64_t tx_id = tx.id;
+  const TimePoint started = tx.start;
+  scheduler_.schedule_at(tx.end, [this, transmitter, tx_id, started,
+                                  request = std::move(request)]() mutable {
+    // Locate and remove our active entry (keeping a copy for delivery).
+    ActiveTx done;
+    bool found = false;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].id == tx_id) {
+        done = active_[i];
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::logic_error("Medium: active transmission vanished");
+    nodes_.at(transmitter).transmitting = false;
+
+    // The transmitter's completion runs before receiver delivery: the
+    // radio returns to RX at the end of its own airtime, and responses
+    // (ACKs) can only arrive afterwards.
+    if (request.on_complete) request.on_complete();
+    deliver(done, request, started);
+  });
+}
+
+void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*started*/) {
+  for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
+    if (receiver == tx.transmitter) continue;
+    NodeEntry& node = nodes_[receiver];
+    if (!node.client->rx_enabled()) continue;
+
+    const double rx_power = rx_power_at(tx, receiver);
+    if (rx_power < kCarrierSenseDbm) continue;  // below detection: silence
+
+    RxFrame frame;
+    frame.transmitter = tx.transmitter;
+    frame.mpdu = request.mpdu;
+    frame.rx_power_dbm = rx_power;
+    frame.snr_db = rx_power - channel_.config().noise_floor_dbm;
+    frame.airtime = request.airtime;
+    frame.rate = request.rate;
+
+    // Collision: any overlapping transmission audible at this receiver.
+    bool collided = false;
+    for (const auto& intf : tx.interferers) {
+      if (intf.transmitter == receiver) {
+        collided = true;  // receiver was itself transmitting during overlap
+        break;
+      }
+      const double d =
+          distance_m(nodes_[intf.transmitter].position, nodes_[receiver].position);
+      if (channel_.rx_power_dbm(intf.tx_power_dbm, d) >= kCarrierSenseDbm) {
+        collided = true;
+        break;
+      }
+    }
+    if (collided) {
+      ++stats_.collision_losses;
+      node.client->on_corrupt_frame(frame, /*collision=*/true);
+      continue;
+    }
+
+    // Channel error.
+    const double per = request.rate
+                           ? channel_.packet_error_rate(frame.snr_db, *request.rate,
+                                                        request.mpdu.size())
+                           : channel_.ble_packet_error_rate(frame.snr_db,
+                                                            request.mpdu.size());
+    if (rng_.chance(per)) {
+      ++stats_.channel_losses;
+      node.client->on_corrupt_frame(frame, /*collision=*/false);
+      continue;
+    }
+
+    ++stats_.deliveries;
+    node.client->on_frame(frame);
+  }
+}
+
+}  // namespace wile::sim

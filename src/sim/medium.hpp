@@ -1,0 +1,145 @@
+// Broadcast radio medium with propagation, collisions and carrier sense.
+//
+// Every radio in a simulation attaches to a Medium. A transmission
+// occupies the channel for its airtime; at the end of the airtime each
+// awake receiver either decodes the frame, loses it to channel error
+// (per the Channel's SNR->PER model), or loses it to a collision (any
+// overlapping transmission audible above the carrier-sense floor).
+// The WiFi network and the BLE pair run on separate Medium instances —
+// separate bands in the real world.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "phy/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace wile::sim {
+
+using NodeId = std::uint32_t;
+
+struct Position {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+double distance_m(const Position& a, const Position& b);
+
+/// A frame as seen by a receiver.
+struct RxFrame {
+  NodeId transmitter{};
+  Bytes mpdu;
+  double rx_power_dbm = 0.0;
+  double snr_db = 0.0;
+  Duration airtime{};
+  std::optional<phy::WifiRate> rate;  // nullopt for non-WiFi media (BLE)
+};
+
+/// Receiver interface implemented by every node's radio.
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+
+  /// A frame finished and decoded at this node.
+  virtual void on_frame(const RxFrame& frame) = 0;
+
+  /// A frame finished but was not decodable (collision or channel loss).
+  /// `collision` distinguishes overlap losses from channel-error losses.
+  virtual void on_corrupt_frame(const RxFrame& frame, bool collision) {
+    (void)frame;
+    (void)collision;
+  }
+
+  /// Whether this radio can currently hear the channel (powered, not
+  /// transmitting, not asleep). Sampled at the *end* of each
+  /// transmission; a radio must be listening for the whole frame in a
+  /// real receiver, but end-sampling is the standard simulator shortcut
+  /// and conservative for our energy questions.
+  [[nodiscard]] virtual bool rx_enabled() const = 0;
+};
+
+struct TxRequest {
+  Bytes mpdu;
+  Duration airtime{};
+  double tx_power_dbm = 0.0;
+  std::optional<phy::WifiRate> rate;  // enables the WiFi PER model
+  /// Invoked on the transmitter when the last bit leaves the antenna.
+  std::function<void()> on_complete;
+};
+
+class Medium {
+ public:
+  Medium(Scheduler& scheduler, phy::Channel channel, Rng rng)
+      : scheduler_(scheduler), channel_(channel), rng_(rng) {}
+
+  /// Attach a radio at a position. The returned id identifies the node in
+  /// all later calls.
+  NodeId attach(MediumClient* client, Position position);
+
+  void set_position(NodeId id, Position position);
+  [[nodiscard]] Position position(NodeId id) const;
+
+  /// Begin a transmission. Throws if this node is already transmitting.
+  void transmit(NodeId transmitter, TxRequest request);
+
+  /// Carrier sense at `listener`: any in-flight transmission audible
+  /// above the CS threshold (including the node's own).
+  [[nodiscard]] bool carrier_busy(NodeId listener) const;
+
+  [[nodiscard]] bool transmitting(NodeId id) const;
+
+  [[nodiscard]] const phy::Channel& channel() const { return channel_; }
+
+  /// Carrier-sense / preamble-detection floor.
+  static constexpr double kCarrierSenseDbm = -82.0;
+
+  /// Total frames delivered/lost, for tests and loss-rate benches.
+  struct Stats {
+    std::uint64_t transmissions = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t collision_losses = 0;
+    std::uint64_t channel_losses = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Interferer {
+    NodeId transmitter{};
+    double tx_power_dbm = 0.0;
+  };
+
+  struct ActiveTx {
+    std::uint64_t id = 0;
+    NodeId transmitter{};
+    TimePoint start{};
+    TimePoint end{};
+    double tx_power_dbm = 0.0;
+    /// Transmissions that overlapped this one at any point.
+    std::vector<Interferer> interferers;
+  };
+
+  struct NodeEntry {
+    MediumClient* client = nullptr;
+    Position position;
+    bool transmitting = false;
+  };
+
+  void deliver(const ActiveTx& tx, const TxRequest& request, TimePoint started);
+  [[nodiscard]] double rx_power_at(const ActiveTx& tx, NodeId listener) const;
+
+  Scheduler& scheduler_;
+  phy::Channel channel_;
+  Rng rng_;
+  std::vector<NodeEntry> nodes_;
+  std::vector<ActiveTx> active_;  // includes transmissions ending this instant
+  std::uint64_t next_tx_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace wile::sim

@@ -1,0 +1,73 @@
+// Deterministic discrete-event scheduler.
+//
+// All protocol machinery in this repository runs against this clock —
+// simulated microseconds, no wall time anywhere. Events at equal
+// timestamps fire in insertion order, which (together with seeded Rngs)
+// makes every run bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wile::sim {
+
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must not be in the past).
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventId schedule_in(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op (timers race with the events that would cancel them).
+  void cancel(EventId id);
+
+  /// Pop and run the next event. Returns false if the queue is empty.
+  bool run_one();
+
+  /// Run events until the queue is exhausted or the next event lies
+  /// beyond `deadline`; the clock then advances to `deadline`.
+  void run_until(TimePoint deadline);
+
+  /// Run until no events remain. `max_events` guards against runaway
+  /// self-rescheduling loops in tests.
+  void run_until_idle(std::uint64_t max_events = 50'000'000);
+
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;  // insertion order tie-break
+    EventId id;
+    // ordered as a min-heap via operator>
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace wile::sim

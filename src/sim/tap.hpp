@@ -1,0 +1,57 @@
+// Monitor-mode capture tap: a passive radio that dumps every frame it
+// can hear to a pcap sink — the simulated equivalent of running
+// tcpdump/Wireshark on a monitor-mode WiFi card next to the testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "util/pcap.hpp"
+
+namespace wile::sim {
+
+class CaptureTap : public MediumClient {
+ public:
+  /// `sink` must outlive the tap. When `include_corrupt` is set, frames
+  /// lost to collisions/channel errors are captured too (their payload
+  /// bytes are what was sent; a real sniffer would see noise, but for
+  /// debugging the intended content is far more useful).
+  template <typename PcapSink>
+  CaptureTap(Scheduler& scheduler, Medium& medium, Position position, PcapSink& sink,
+             bool include_corrupt = false)
+      : scheduler_(scheduler),
+        include_corrupt_(include_corrupt),
+        write_([&sink](TimePoint t, BytesView frame) { sink.write(t, frame); }) {
+    node_id_ = medium.attach(this, position);
+  }
+
+  [[nodiscard]] NodeId node_id() const { return node_id_; }
+  [[nodiscard]] std::uint64_t frames_captured() const { return frames_; }
+  [[nodiscard]] std::uint64_t corrupt_seen() const { return corrupt_; }
+
+  void on_frame(const RxFrame& frame) override {
+    ++frames_;
+    write_(scheduler_.now(), frame.mpdu);
+  }
+
+  void on_corrupt_frame(const RxFrame& frame, bool) override {
+    ++corrupt_;
+    if (include_corrupt_) {
+      ++frames_;
+      write_(scheduler_.now(), frame.mpdu);
+    }
+  }
+
+  [[nodiscard]] bool rx_enabled() const override { return true; }
+
+ private:
+  Scheduler& scheduler_;
+  bool include_corrupt_;
+  std::function<void(TimePoint, BytesView)> write_;
+  NodeId node_id_{};
+  std::uint64_t frames_ = 0;
+  std::uint64_t corrupt_ = 0;
+};
+
+}  // namespace wile::sim

@@ -1,0 +1,7 @@
+#include "util/byte_buffer.hpp"
+
+// Header-only by design; this translation unit exists so the library has
+// an archive member and the header is compiled standalone at least once.
+namespace wile {
+static_assert(sizeof(std::uint8_t) == 1);
+}  // namespace wile

@@ -1,0 +1,24 @@
+// Hex encoding/decoding helpers, used by tests (known-answer vectors) and
+// by example programs when printing captured frames.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile {
+
+/// Lowercase hex string, no separators ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Parse a hex string (whitespace tolerated between bytes). Returns
+/// nullopt if the input contains non-hex characters or an odd digit count.
+std::optional<Bytes> from_hex(std::string_view text);
+
+/// Classic 16-bytes-per-row hexdump with an ASCII gutter, for debugging
+/// captured frames.
+std::string hexdump(BytesView data);
+
+}  // namespace wile

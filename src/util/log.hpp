@@ -1,0 +1,48 @@
+// Minimal levelled logger.
+//
+// The simulator is deterministic and single-threaded; logging exists for
+// example programs and debugging, defaults to Warn, and writes to stderr
+// so bench CSV output on stdout stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wile {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(Info) << "assoc done for " << mac;
+/// The expression is only evaluated when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace wile
+
+#define WILE_LOG(level)                                  \
+  if (::wile::LogLevel::level < ::wile::log_level()) {   \
+  } else                                                 \
+    ::wile::LogLine(::wile::LogLevel::level)

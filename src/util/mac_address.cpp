@@ -1,0 +1,60 @@
+#include "util/mac_address.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace wile {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx" (17 chars).
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, kSize> out{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    const std::size_t base = i * 3;
+    const int hi = hex_digit(text[base]);
+    const int lo = hex_digit(text[base + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    if (i + 1 < kSize && text[base + 2] != ':') return std::nullopt;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return MacAddress{out};
+}
+
+MacAddress MacAddress::from_seed(std::uint64_t seed) {
+  // SplitMix64 finaliser spreads consecutive seeds across the space.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  std::array<std::uint8_t, kSize> out{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    out[i] = static_cast<std::uint8_t>((z >> (8 * i)) & 0xff);
+  }
+  out[0] = static_cast<std::uint8_t>((out[0] & 0xfc) | 0x02);  // local, unicast
+  return MacAddress{out};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+MacAddress MacAddress::read_from(ByteReader& r) {
+  std::array<std::uint8_t, kSize> out{};
+  BytesView v = r.bytes(kSize);
+  std::copy(v.begin(), v.end(), out.begin());
+  return MacAddress{out};
+}
+
+}  // namespace wile

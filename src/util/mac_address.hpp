@@ -1,0 +1,70 @@
+// 48-bit IEEE 802 MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile {
+
+/// An EUI-48 address as used by 802.11 (and by BLE public device
+/// addresses, which share the format).
+class MacAddress {
+ public:
+  static constexpr std::size_t kSize = 6;
+
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, kSize> octets) : octets_(octets) {}
+
+  /// The all-ones broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+  /// The all-zero address, used as "unset".
+  static constexpr MacAddress zero() { return MacAddress{}; }
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (case-insensitive). Returns nullopt on any
+  /// formatting problem.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// Derive a locally-administered unicast address from a 64-bit seed.
+  /// Used to hand out distinct, stable addresses to simulated nodes.
+  static MacAddress from_seed(std::uint64_t seed);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, kSize>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] constexpr bool is_broadcast() const { return *this == broadcast(); }
+  [[nodiscard]] constexpr bool is_zero() const { return *this == zero(); }
+  /// Group bit (LSB of first octet): set for broadcast/multicast.
+  [[nodiscard]] constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  /// Locally-administered bit.
+  [[nodiscard]] constexpr bool is_local() const { return (octets_[0] & 0x02) != 0; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  void write_to(ByteWriter& w) const { w.bytes(octets_.data(), kSize); }
+  static MacAddress read_from(ByteReader& r);
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> octets_{};
+};
+
+}  // namespace wile
+
+template <>
+struct std::hash<wile::MacAddress> {
+  std::size_t operator()(const wile::MacAddress& m) const noexcept {
+    std::uint64_t v = 0;
+    for (auto o : m.octets()) v = (v << 8) | o;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

@@ -1,0 +1,95 @@
+#include "util/pcap.hpp"
+
+#include <iterator>
+#include <stdexcept>
+
+namespace wile {
+
+namespace detail {
+
+Bytes pcap_global_header(PcapLinkType link_type) {
+  ByteWriter w(24);
+  w.u32le(0xa1b2c3d4);  // magic, microsecond resolution
+  w.u16le(2);           // version major
+  w.u16le(4);           // version minor
+  w.u32le(0);           // thiszone
+  w.u32le(0);           // sigfigs
+  w.u32le(65535);       // snaplen
+  w.u32le(static_cast<std::uint32_t>(link_type));
+  return w.take();
+}
+
+Bytes pcap_record_header(TimePoint timestamp, std::size_t length) {
+  const std::int64_t us = timestamp.us();
+  ByteWriter w(16);
+  w.u32le(static_cast<std::uint32_t>(us / 1'000'000));
+  w.u32le(static_cast<std::uint32_t>(us % 1'000'000));
+  w.u32le(static_cast<std::uint32_t>(length));  // captured length
+  w.u32le(static_cast<std::uint32_t>(length));  // original length
+  return w.take();
+}
+
+}  // namespace detail
+
+PcapWriter::PcapWriter(const std::string& path, PcapLinkType link_type)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  const Bytes header = detail::pcap_global_header(link_type);
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+}
+
+void PcapWriter::write(TimePoint timestamp, BytesView frame) {
+  const Bytes rec = detail::pcap_record_header(timestamp, frame.size());
+  out_.write(reinterpret_cast<const char*>(rec.data()),
+             static_cast<std::streamsize>(rec.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++frames_;
+}
+
+void PcapWriter::flush() { out_.flush(); }
+
+PcapBuffer::PcapBuffer(PcapLinkType link_type) {
+  const Bytes header = detail::pcap_global_header(link_type);
+  buf_.insert(buf_.end(), header.begin(), header.end());
+}
+
+void PcapBuffer::write(TimePoint timestamp, BytesView frame) {
+  const Bytes rec = detail::pcap_record_header(timestamp, frame.size());
+  buf_.insert(buf_.end(), rec.begin(), rec.end());
+  buf_.insert(buf_.end(), frame.begin(), frame.end());
+  ++frames_;
+}
+
+std::optional<PcapFile> read_pcap(BytesView data) {
+  try {
+    ByteReader r{data};
+    if (r.u32le() != 0xa1b2c3d4) return std::nullopt;
+    r.skip(2 + 2 + 4 + 4 + 4);  // versions, thiszone, sigfigs, snaplen
+    PcapFile out;
+    out.link_type = static_cast<PcapLinkType>(r.u32le());
+    while (!r.empty()) {
+      const std::uint32_t ts_sec = r.u32le();
+      const std::uint32_t ts_usec = r.u32le();
+      const std::uint32_t cap_len = r.u32le();
+      r.u32le();  // original length
+      PcapRecord rec;
+      rec.timestamp = TimePoint{seconds(ts_sec) + usec(ts_usec)};
+      rec.frame = r.bytes_copy(cap_len);
+      out.records.push_back(std::move(rec));
+    }
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<PcapFile> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return read_pcap(data);
+}
+
+}  // namespace wile

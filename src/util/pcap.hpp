@@ -1,0 +1,87 @@
+// Classic pcap capture writer (LINKTYPE_IEEE802_11, and raw variants).
+//
+// A real Wi-LE deployment is debugged with Wireshark next to the
+// injector; this writer lets any simulated node (the monitor Receiver,
+// the AP, a test) dump the frames it saw to a standard .pcap file that
+// Wireshark/tcpdump open directly. The format is the original
+// libpcap file layout (magic 0xa1b2c3d4, microsecond timestamps) —
+// 802.11 MPDUs as captured, FCS included.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/units.hpp"
+
+namespace wile {
+
+enum class PcapLinkType : std::uint32_t {
+  Ieee80211 = 105,   // 802.11 MPDUs, FCS present
+  BluetoothLeLl = 251,  // BLE link-layer air packets
+  User0 = 147,       // private: anything else
+};
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header. Throws
+  /// std::runtime_error if the file cannot be created.
+  PcapWriter(const std::string& path, PcapLinkType link_type);
+
+  /// Append one captured frame with the given simulated timestamp.
+  /// `frame` is written unmodified.
+  void write(TimePoint timestamp, BytesView frame);
+
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+
+  /// Flush buffered records to disk (also happens on destruction).
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::uint64_t frames_ = 0;
+};
+
+/// In-memory variant for tests and for embedding captures in reports:
+/// identical byte layout, no filesystem.
+class PcapBuffer {
+ public:
+  explicit PcapBuffer(PcapLinkType link_type);
+  void write(TimePoint timestamp, BytesView frame);
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+
+ private:
+  Bytes buf_;
+  std::uint64_t frames_ = 0;
+};
+
+/// One record read back from a capture.
+struct PcapRecord {
+  TimePoint timestamp;
+  Bytes frame;
+};
+
+/// Parsed capture file.
+struct PcapFile {
+  PcapLinkType link_type{};
+  std::vector<PcapRecord> records;
+};
+
+/// Parse a classic pcap byte stream (as produced by PcapWriter/PcapBuffer
+/// or any libpcap tool using the 0xa1b2c3d4 microsecond format). Returns
+/// nullopt on bad magic or a truncated record.
+std::optional<PcapFile> read_pcap(BytesView data);
+
+/// Convenience: load and parse a capture file from disk.
+std::optional<PcapFile> read_pcap_file(const std::string& path);
+
+namespace detail {
+Bytes pcap_global_header(PcapLinkType link_type);
+Bytes pcap_record_header(TimePoint timestamp, std::size_t length);
+}  // namespace detail
+
+}  // namespace wile

@@ -1,0 +1,254 @@
+#include "wile/codec.hpp"
+
+#include <stdexcept>
+
+#include "crypto/crc.hpp"
+
+namespace wile::core {
+
+namespace {
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFlagEncrypted = 0x01;
+constexpr std::uint8_t kFlagFragmented = 0x02;
+constexpr std::uint8_t kFlagRxWindow = 0x04;
+
+// ver flags device_id seq type data_len crc
+constexpr std::size_t kFixedOverhead = 1 + 1 + 4 + 4 + 1 + 1 + 4;
+constexpr std::size_t kFragOverhead = 2;
+constexpr std::size_t kWindowOverhead = 4;
+
+crypto::Aead::Nonce make_nonce(std::uint32_t device_id, std::uint32_t sequence,
+                               std::uint8_t frag_index) {
+  crypto::Aead::Nonce nonce{};
+  for (int i = 0; i < 4; ++i) nonce[i] = static_cast<std::uint8_t>(device_id >> (8 * i));
+  for (int i = 0; i < 4; ++i) nonce[4 + i] = static_cast<std::uint8_t>(sequence >> (8 * i));
+  nonce[8] = frag_index;
+  return nonce;
+}
+}  // namespace
+
+Codec::Codec(BytesView key) : aead_(crypto::Aead{key}) {}
+
+std::size_t Codec::max_fragment_data(bool fragmented, bool has_window) const {
+  std::size_t capacity = dot11::vendor_payload_capacity();  // after OUI+subtype
+  capacity -= kFixedOverhead;
+  if (fragmented) capacity -= kFragOverhead;
+  if (has_window) capacity -= kWindowOverhead;
+  if (aead_) capacity -= crypto::Aead::kTagSize;
+  return capacity;
+}
+
+std::size_t Codec::capacity(std::size_t max_elements, bool has_window) const {
+  if (max_elements == 0) return 0;
+  if (max_elements == 1) return max_fragment_data(false, has_window);
+  return max_elements * max_fragment_data(true, has_window);
+}
+
+Bytes Codec::encode_one(const Message& message, std::uint8_t frag_index,
+                        std::uint8_t frag_count, BytesView data) const {
+  const bool fragmented = frag_count > 1;
+  std::uint8_t flags = 0;
+  if (aead_) flags |= kFlagEncrypted;
+  if (fragmented) flags |= kFlagFragmented;
+  if (message.rx_window) flags |= kFlagRxWindow;
+
+  Bytes body;  // data or sealed data
+  if (aead_) {
+    // Associated data binds identity fields so they cannot be spliced.
+    std::array<std::uint8_t, 9> ad{};
+    for (int i = 0; i < 4; ++i) ad[i] = static_cast<std::uint8_t>(message.device_id >> (8 * i));
+    for (int i = 0; i < 4; ++i) {
+      ad[4 + i] = static_cast<std::uint8_t>(message.sequence >> (8 * i));
+    }
+    ad[8] = frag_index;
+    body = aead_->seal(make_nonce(message.device_id, message.sequence, frag_index), ad, data);
+  } else {
+    body.assign(data.begin(), data.end());
+  }
+  if (body.size() > 255) throw std::logic_error("Wi-LE fragment body exceeds length field");
+
+  ByteWriter w(kFixedOverhead + kFragOverhead + kWindowOverhead + body.size());
+  w.u8(kVersion);
+  w.u8(flags);
+  w.u32le(message.device_id);
+  w.u32le(message.sequence);
+  w.u8(static_cast<std::uint8_t>(message.type));
+  if (fragmented) {
+    w.u8(frag_index);
+    w.u8(frag_count);
+  }
+  if (message.rx_window) {
+    w.u16le(static_cast<std::uint16_t>(message.rx_window->offset.count() / 1000));
+    w.u16le(static_cast<std::uint16_t>(message.rx_window->duration.count() / 1000));
+  }
+  w.u8(static_cast<std::uint8_t>(body.size()));
+  w.bytes(body);
+  w.u32le(crypto::crc32(w.view()));
+  return w.take();
+}
+
+std::vector<dot11::InfoElement> Codec::encode(const Message& message) const {
+  const bool has_window = message.rx_window.has_value();
+  const std::size_t single = max_fragment_data(false, has_window);
+  std::vector<dot11::InfoElement> out;
+
+  auto wrap = [&](BytesView payload) {
+    auto ie = dot11::make_vendor_ie(kWileOui, kWileSubtype, payload);
+    if (!ie) throw std::logic_error("Wi-LE element exceeded vendor IE capacity");
+    out.push_back(std::move(*ie));
+  };
+
+  if (message.data.size() <= single) {
+    wrap(encode_one(message, 0, 1, message.data));
+    return out;
+  }
+
+  const std::size_t per_frag = max_fragment_data(true, has_window);
+  const std::size_t count = (message.data.size() + per_frag - 1) / per_frag;
+  if (count > 255) throw std::invalid_argument("Wi-LE message needs more than 255 fragments");
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off = i * per_frag;
+    const std::size_t len = std::min(per_frag, message.data.size() - off);
+    wrap(encode_one(message, static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(count),
+                    BytesView{message.data.data() + off, len}));
+  }
+  return out;
+}
+
+std::optional<Fragment> Codec::decode(const dot11::InfoElement& element,
+                                      DecodeError* error) const {
+  auto fail = [&](DecodeError e) {
+    if (error != nullptr) *error = e;
+    return std::nullopt;
+  };
+
+  if (element.id != dot11::IeId::VendorSpecific || element.data.size() < 4 ||
+      !std::equal(kWileOui.begin(), kWileOui.end(), element.data.begin()) ||
+      element.data[3] != kWileSubtype) {
+    return fail(DecodeError::NotWile);
+  }
+
+  const BytesView payload{element.data.data() + 4, element.data.size() - 4};
+  if (payload.size() < kFixedOverhead) return fail(DecodeError::Malformed);
+
+  // CRC over everything before the trailing 4 bytes.
+  const BytesView covered = payload.subspan(0, payload.size() - 4);
+  ByteReader crc_r{payload.subspan(payload.size() - 4)};
+  if (crypto::crc32(covered) != crc_r.u32le()) return fail(DecodeError::BadCrc);
+
+  try {
+    ByteReader r{covered};
+    if (r.u8() != kVersion) return fail(DecodeError::NotWile);
+    const std::uint8_t flags = r.u8();
+    Fragment f;
+    f.device_id = r.u32le();
+    f.sequence = r.u32le();
+    f.type = static_cast<MessageType>(r.u8());
+    if (flags & kFlagFragmented) {
+      f.frag_index = r.u8();
+      f.frag_count = r.u8();
+      if (f.frag_count == 0 || f.frag_index >= f.frag_count) {
+        return fail(DecodeError::Malformed);
+      }
+    }
+    if (flags & kFlagRxWindow) {
+      RxWindow win;
+      win.offset = msec(r.u16le());
+      win.duration = msec(r.u16le());
+      f.rx_window = win;
+    }
+    const std::size_t body_len = r.u8();
+    if (body_len != r.remaining()) return fail(DecodeError::Malformed);
+    const BytesView body = r.bytes(body_len);
+
+    if (flags & kFlagEncrypted) {
+      if (!aead_) return fail(DecodeError::KeyRequired);
+      std::array<std::uint8_t, 9> ad{};
+      for (int i = 0; i < 4; ++i) ad[i] = static_cast<std::uint8_t>(f.device_id >> (8 * i));
+      for (int i = 0; i < 4; ++i) ad[4 + i] = static_cast<std::uint8_t>(f.sequence >> (8 * i));
+      ad[8] = f.frag_index;
+      auto plain = aead_->open(make_nonce(f.device_id, f.sequence, f.frag_index), ad, body);
+      if (!plain) return fail(DecodeError::DecryptFailed);
+      f.data = std::move(*plain);
+    } else {
+      f.data.assign(body.begin(), body.end());
+    }
+    return f;
+  } catch (const BufferUnderflow&) {
+    return fail(DecodeError::Malformed);
+  }
+}
+
+std::vector<Fragment> Codec::decode_all(const dot11::IeList& ies) const {
+  std::vector<Fragment> out;
+  for (const dot11::InfoElement* ie : ies.find_all(dot11::IeId::VendorSpecific)) {
+    if (auto f = decode(*ie)) out.push_back(std::move(*f));
+  }
+  return out;
+}
+
+std::optional<std::string> encode_ssid_stuffed(const Message& message) {
+  if (message.data.size() > kSsidStuffingCapacity) return std::nullopt;
+  if (message.device_id > 0xffff) return std::nullopt;
+  std::string out;
+  out.reserve(5 + message.data.size());
+  out.push_back('\x57');  // 'W'
+  out.push_back('\x21');  // '!'
+  out.push_back(static_cast<char>(message.device_id & 0xff));
+  out.push_back(static_cast<char>((message.device_id >> 8) & 0xff));
+  out.push_back(static_cast<char>(message.sequence & 0xff));
+  out.append(message.data.begin(), message.data.end());
+  return out;
+}
+
+std::optional<Fragment> decode_ssid_stuffed(std::string_view ssid) {
+  if (ssid.size() < 5 || ssid[0] != '\x57' || ssid[1] != '\x21') return std::nullopt;
+  Fragment f;
+  f.device_id = static_cast<std::uint8_t>(ssid[2]) |
+                (static_cast<std::uint32_t>(static_cast<std::uint8_t>(ssid[3])) << 8);
+  f.sequence = static_cast<std::uint8_t>(ssid[4]);
+  f.type = MessageType::Telemetry;
+  f.data.assign(ssid.begin() + 5, ssid.end());
+  return f;
+}
+
+std::optional<Message> Reassembler::add(const Fragment& fragment) {
+  if (fragment.frag_count <= 1) {
+    Message m;
+    m.device_id = fragment.device_id;
+    m.sequence = fragment.sequence;
+    m.type = fragment.type;
+    m.data = fragment.data;
+    m.rx_window = fragment.rx_window;
+    return m;
+  }
+
+  Partial& p = partial_[fragment.device_id];
+  if (p.sequence != fragment.sequence || p.frag_count != fragment.frag_count ||
+      p.parts.size() != fragment.frag_count) {
+    // New message (or stale partial): reset the slot.
+    p = Partial{};
+    p.sequence = fragment.sequence;
+    p.frag_count = fragment.frag_count;
+    p.parts.assign(fragment.frag_count, std::nullopt);
+  }
+  p.type = fragment.type;
+  if (fragment.rx_window) p.rx_window = fragment.rx_window;
+  p.parts[fragment.frag_index] = fragment.data;
+
+  for (const auto& part : p.parts) {
+    if (!part) return std::nullopt;
+  }
+  Message m;
+  m.device_id = fragment.device_id;
+  m.sequence = p.sequence;
+  m.type = p.type;
+  m.rx_window = p.rx_window;
+  for (auto& part : p.parts) {
+    m.data.insert(m.data.end(), part->begin(), part->end());
+  }
+  partial_.erase(fragment.device_id);
+  return m;
+}
+
+}  // namespace wile::core

@@ -1,0 +1,138 @@
+// The Wi-LE payload container: messages inside 802.11 vendor-specific
+// information elements.
+//
+// §4.1 of the paper: with the hidden-SSID trick the SSID field must be
+// null, so "Wi-LE must place IoT devices' data in other fields. The
+// 'vendor specific' information element field in the 802.11 beacon frame
+// is a suitable place". This codec defines the byte layout inside that
+// element:
+//
+//   OUI(3) subtype(1)                       -- element identification
+//   ver(1) flags(1) device_id(4) seq(4)
+//   type(1) [frag_idx(1) frag_cnt(1)] [win_off_ms(2) win_dur_ms(2)]
+//   data_len(1) data(..) crc32(4)
+//
+// flags: bit0 = data encrypted (AEAD; tag included in data), bit1 =
+// fragmented, bit2 = rx-window present. The CRC covers everything from
+// `ver` through `data` (over the ciphertext when encrypted, so corrupt
+// elements are rejected before any key work). Messages larger than one
+// element are split across multiple vendor IEs in the same beacon or,
+// when even that is not enough, across consecutive beacons — the
+// receiver's reassembly does not care which.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/aead.hpp"
+#include "dot11/ie.hpp"
+#include "wile/message.hpp"
+
+namespace wile::core {
+
+/// Organisationally-unique identifier used by Wi-LE elements.
+constexpr std::array<std::uint8_t, 3> kWileOui = {0x57, 0x69, 0x4c};  // "WiL"
+constexpr std::uint8_t kWileSubtype = 0x45;                           // "E"
+
+/// One decoded element (possibly a fragment of a larger message).
+struct Fragment {
+  std::uint32_t device_id = 0;
+  std::uint32_t sequence = 0;
+  MessageType type = MessageType::Telemetry;
+  std::uint8_t frag_index = 0;
+  std::uint8_t frag_count = 1;
+  std::optional<RxWindow> rx_window;
+  Bytes data;  // decrypted if the codec has the key
+};
+
+enum class DecodeError {
+  NotWile,        // wrong OUI/subtype/version
+  Malformed,      // truncated or inconsistent lengths
+  BadCrc,         // transmission survived FCS but container CRC failed
+  DecryptFailed,  // AEAD tag mismatch (wrong key or tampering)
+  KeyRequired,    // element is encrypted but codec has no key
+};
+
+class Codec {
+ public:
+  /// Plaintext codec.
+  Codec() = default;
+  /// Encrypting codec; `key` is the 16-byte device key.
+  explicit Codec(BytesView key);
+
+  [[nodiscard]] bool encrypted() const { return aead_.has_value(); }
+
+  /// Usable data bytes in a single element for the given feature set.
+  [[nodiscard]] std::size_t max_fragment_data(bool fragmented, bool has_window) const;
+
+  /// Largest message data size encodable into `max_elements` elements.
+  [[nodiscard]] std::size_t capacity(std::size_t max_elements, bool has_window) const;
+
+  /// Encode a message into one or more vendor IEs. Throws
+  /// std::invalid_argument if the message needs more than 255 fragments.
+  [[nodiscard]] std::vector<dot11::InfoElement> encode(const Message& message) const;
+
+  /// Decode one vendor IE payload (after OUI+subtype matching, which
+  /// decode() performs itself from the raw element).
+  [[nodiscard]] std::optional<Fragment> decode(const dot11::InfoElement& element,
+                                               DecodeError* error = nullptr) const;
+
+  /// Convenience: all Wi-LE fragments in an IE list.
+  [[nodiscard]] std::vector<Fragment> decode_all(const dot11::IeList& ies) const;
+
+ private:
+  [[nodiscard]] Bytes encode_one(const Message& message, std::uint8_t frag_index,
+                                 std::uint8_t frag_count, BytesView data) const;
+
+  std::optional<crypto::Aead> aead_;
+};
+
+// ---------------------------------------------------------------------------
+// SSID stuffing — the related-work alternative (§2).
+//
+// "The work closest to ours is a technique called WiFi beacon-stuffing
+// [Chandra'07] ... overloads some fields in the 802.11 beacon" — most
+// prominently the SSID itself. We implement it as a comparison arm: the
+// message rides in the SSID field, which caps the payload at 32 bytes
+// minus header and, unlike the hidden-SSID vendor-IE scheme, pollutes
+// every nearby device's network list (see ScanListModel).
+// ---------------------------------------------------------------------------
+
+/// Data bytes one stuffed SSID can carry (32 - magic(2) - device(2) -
+/// seq(1) = 27).
+constexpr std::size_t kSsidStuffingCapacity = 27;
+
+/// Encode into an SSID-field payload. Returns nullopt if data exceeds
+/// kSsidStuffingCapacity or device_id exceeds 16 bits (the field is too
+/// small for the full header; that is the point of the comparison).
+std::optional<std::string> encode_ssid_stuffed(const Message& message);
+
+/// Decode an SSID captured from a beacon. Returns nullopt for ordinary
+/// (human) network names.
+std::optional<Fragment> decode_ssid_stuffed(std::string_view ssid);
+
+/// Reassembles fragments into complete messages. One instance per
+/// receiver; tolerates interleaved devices and lost fragments (stale
+/// partial messages are dropped when a newer sequence arrives).
+class Reassembler {
+ public:
+  /// Feed one fragment; returns the completed message when all parts of
+  /// its (device, sequence) group have arrived.
+  std::optional<Message> add(const Fragment& fragment);
+
+ private:
+  struct Partial {
+    std::uint32_t sequence = 0;
+    std::uint8_t frag_count = 0;
+    std::vector<std::optional<Bytes>> parts;
+    MessageType type = MessageType::Telemetry;
+    std::optional<RxWindow> rx_window;
+  };
+  std::unordered_map<std::uint32_t, Partial> partial_;  // by device id
+};
+
+}  // namespace wile::core

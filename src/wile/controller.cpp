@@ -1,0 +1,112 @@
+#include "wile/controller.hpp"
+
+#include "dot11/mgmt.hpp"
+
+namespace wile::core {
+
+Controller::Controller(sim::Scheduler& scheduler, sim::Medium& medium,
+                       sim::Position position, ControllerConfig config, Rng rng)
+    : scheduler_(scheduler),
+      medium_(medium),
+      config_(std::move(config)),
+      rng_(rng),
+      codec_(config_.key ? Codec{*config_.key} : Codec{}) {
+  node_id_ = medium_.attach(this, position);
+  sim::CsmaConfig csma_cfg;
+  csma_cfg.tx_power_dbm = config_.tx_power_dbm;
+  csma_ = std::make_unique<sim::Csma>(scheduler_, medium_, node_id_, rng_.fork(), csma_cfg);
+}
+
+bool Controller::rx_enabled() const { return !medium_.transmitting(node_id_); }
+
+void Controller::queue_downlink(std::uint32_t device_id, Bytes data) {
+  queued_[device_id].push_back(std::move(data));
+  ++stats_.downlinks_queued;
+}
+
+void Controller::on_frame(const sim::RxFrame& frame) {
+  auto parsed = dot11::parse_mpdu(frame.mpdu);
+  if (!parsed || !parsed->fcs_ok) return;
+  if (!parsed->header.fc.is_mgmt(dot11::MgmtSubtype::Beacon)) return;
+  auto beacon = dot11::Beacon::decode(parsed->body);
+  if (!beacon) return;
+
+  RxMeta meta;
+  meta.received_at = scheduler_.now();
+  meta.rssi_dbm = frame.rx_power_dbm;
+  meta.bssid = parsed->header.addr3;
+
+  for (const Fragment& fragment : codec_.decode_all(beacon->ies)) {
+    if (fragment.rx_window) {
+      ++stats_.windows_seen;
+      auto qit = queued_.find(fragment.device_id);
+      if (qit != queued_.end() && !qit->second.empty()) {
+        inject_downlink(fragment.device_id, *fragment.rx_window);
+      }
+    }
+    if (auto message = reassembler_.add(fragment)) {
+      // Reliable mode: acknowledge completed uplinks into the window the
+      // device just announced.
+      if (config_.auto_ack && fragment.rx_window && message->type != MessageType::Ack) {
+        Message ack;
+        ack.device_id = message->device_id;
+        ack.sequence = downlink_seq_[message->device_id]++;
+        ack.type = MessageType::Ack;
+        ByteWriter w(4);
+        w.u32le(message->sequence);
+        ack.data = w.take();
+        schedule_injection(*fragment.rx_window, std::move(ack), /*is_ack=*/true);
+      }
+      if (callback_) callback_(*message, meta);
+    }
+  }
+}
+
+Bytes Controller::build_downlink_beacon(const Message& message) {
+  dot11::Beacon beacon;
+  beacon.timestamp_us = static_cast<std::uint64_t>(scheduler_.now().us());
+  beacon.capability = dot11::Capability::kEss;
+  beacon.ies.add(dot11::make_ssid_ie(""));  // hidden, like the devices
+  beacon.ies.add(dot11::make_supported_rates_ie(dot11::default_bg_rates()));
+  for (const auto& ie : codec_.encode(message)) beacon.ies.add(ie);
+
+  dot11::MacHeader h;
+  h.fc = dot11::FrameControl::mgmt(dot11::MgmtSubtype::Beacon);
+  h.addr1 = MacAddress::broadcast();
+  h.addr2 = config_.mac;
+  h.addr3 = config_.mac;
+  h.set_sequence(seq_ctl_++ & 0x0fff);
+  return dot11::assemble_mpdu(h, beacon.encode());
+}
+
+void Controller::inject_downlink(std::uint32_t device_id, const RxWindow& window) {
+  auto qit = queued_.find(device_id);
+  if (qit == queued_.end() || qit->second.empty()) return;
+  Message message;
+  message.device_id = device_id;
+  message.sequence = downlink_seq_[device_id]++;
+  message.type = MessageType::Downlink;
+  message.data = std::move(qit->second.front());
+  qit->second.pop_front();
+  schedule_injection(window, std::move(message), /*is_ack=*/false);
+}
+
+void Controller::schedule_injection(const RxWindow& window, Message message, bool is_ack) {
+  // The device starts listening `window.offset` after its beacon ended —
+  // which is now (frames are delivered at end-of-airtime). Aim a little
+  // into the window so CSMA slop does not miss it.
+  const Duration lead = window.offset + config_.aim_into_window;
+  scheduler_.schedule_in(lead, [this, message = std::move(message), is_ack] {
+    const Bytes mpdu = build_downlink_beacon(message);
+    csma_->send(mpdu, config_.rate, /*expect_ack=*/false,
+                [this, is_ack](const sim::Csma::Result&) {
+                  if (is_ack) {
+                    ++stats_.acks_sent;
+                  } else {
+                    ++stats_.downlinks_sent;
+                  }
+                });
+  });
+}
+
+}  // namespace wile::core

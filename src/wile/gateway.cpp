@@ -1,0 +1,91 @@
+#include "wile/gateway.hpp"
+
+#include "util/log.hpp"
+
+namespace wile::core {
+
+Bytes ForwardedReading::encode() const {
+  ByteWriter w(12 + data.size());
+  w.u32le(device_id);
+  w.u32le(sequence);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(rssi_dbm));
+  w.u16le(static_cast<std::uint16_t>(data.size()));
+  w.bytes(data);
+  return w.take();
+}
+
+std::optional<ForwardedReading> ForwardedReading::decode(BytesView payload) {
+  try {
+    ByteReader r{payload};
+    ForwardedReading out;
+    out.device_id = r.u32le();
+    out.sequence = r.u32le();
+    out.type = static_cast<MessageType>(r.u8());
+    out.rssi_dbm = static_cast<std::int8_t>(r.u8());
+    const std::uint16_t len = r.u16le();
+    if (len != r.remaining()) return std::nullopt;
+    out.data = r.bytes_copy(len);
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+Gateway::Gateway(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+                 GatewayConfig config, Rng rng)
+    : scheduler_(scheduler), config_(std::move(config)) {
+  monitor_ = std::make_unique<Receiver>(scheduler, medium, position, config_.monitor);
+  station_ = std::make_unique<sta::Station>(scheduler, medium, position, config_.station,
+                                            rng.fork());
+  monitor_->set_message_callback(
+      [this](const Message& message, const RxMeta& meta) { enqueue(message, meta); });
+}
+
+void Gateway::start(std::function<void(bool)> ready) {
+  station_->connect_and_enter_power_save(
+      [this, ready = std::move(ready)](bool ok) {
+        uplink_ready_ = ok;
+        if (ready) ready(ok);
+        if (ok) pump();
+      });
+}
+
+void Gateway::enqueue(const Message& message, const RxMeta& meta) {
+  ++stats_.received;
+  ForwardedReading reading;
+  reading.device_id = message.device_id;
+  reading.sequence = message.sequence;
+  reading.type = message.type;
+  reading.rssi_dbm = static_cast<std::int8_t>(
+      std::max(-127.0, std::min(127.0, meta.rssi_dbm)));
+  reading.data = message.data;
+
+  if (queue_.size() >= config_.max_queue) {
+    queue_.pop_front();
+    ++stats_.dropped_queue_full;
+  }
+  queue_.push_back(std::move(reading));
+  pump();
+}
+
+void Gateway::pump() {
+  if (!uplink_ready_ || sending_ || queue_.empty()) return;
+  sending_ = true;
+  ForwardedReading next = std::move(queue_.front());
+  queue_.pop_front();
+  station_->power_save_send(next.encode(), [this](const sta::CycleReport& report) {
+    sending_ = false;
+    if (report.success) {
+      ++stats_.forwarded;
+    } else {
+      ++stats_.forward_failures;
+    }
+    // Drain anything that arrived while the uplink was busy.
+    if (!queue_.empty()) {
+      scheduler_.schedule_in(msec(1), [this] { pump(); });
+    }
+  });
+}
+
+}  // namespace wile::core

@@ -1,0 +1,82 @@
+// Wi-LE to infrastructure gateway.
+//
+// §1 of the paper: "when available, Wi-LE can utilize existing WiFi
+// infrastructure (which Bluetooth cannot)". This node is how: one
+// monitor-mode radio harvests Wi-LE beacons while a second, associated
+// radio (a full sta::Station in power-save mode) forwards each message
+// to a server behind the AP as a UDP datagram. A Raspberry-Pi-class box
+// with two WiFi interfaces — mains powered, so its energy is not the
+// scarce resource; the sensors' is.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "sta/station.hpp"
+#include "wile/receiver.hpp"
+
+namespace wile::core {
+
+/// Wire format of one forwarded reading (the UDP payload the server
+/// receives): device_id u32le, sequence u32le, type u8, rssi dBm s8,
+/// data_len u16le, data.
+struct ForwardedReading {
+  std::uint32_t device_id = 0;
+  std::uint32_t sequence = 0;
+  MessageType type = MessageType::Telemetry;
+  std::int8_t rssi_dbm = 0;
+  Bytes data;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ForwardedReading> decode(BytesView payload);
+
+  friend bool operator==(const ForwardedReading&, const ForwardedReading&) = default;
+};
+
+struct GatewayConfig {
+  /// Infrastructure side (ssid/passphrase must match the AP; server_ip /
+  /// server_port name the collector behind it).
+  sta::StationConfig station{};
+  /// Wi-LE side (device key etc.).
+  ReceiverConfig monitor{};
+  /// Readings buffered while the uplink is busy; older ones drop first.
+  std::size_t max_queue = 64;
+};
+
+struct GatewayStats {
+  std::uint64_t received = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t forward_failures = 0;
+};
+
+class Gateway {
+ public:
+  Gateway(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+          GatewayConfig config, Rng rng);
+
+  /// Associate the uplink station and begin bridging. `ready` fires once
+  /// the station is through DHCP (or has failed).
+  void start(std::function<void(bool)> ready);
+
+  [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+  [[nodiscard]] const Receiver& monitor() const { return *monitor_; }
+  [[nodiscard]] const sta::Station& station() const { return *station_; }
+
+ private:
+  void enqueue(const Message& message, const RxMeta& meta);
+  void pump();
+
+  sim::Scheduler& scheduler_;
+  GatewayConfig config_;
+  std::unique_ptr<Receiver> monitor_;
+  std::unique_ptr<sta::Station> station_;
+  std::deque<ForwardedReading> queue_;
+  bool uplink_ready_ = false;
+  bool sending_ = false;
+  GatewayStats stats_;
+};
+
+}  // namespace wile::core

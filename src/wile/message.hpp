@@ -1,0 +1,48 @@
+// Wi-LE application messages.
+//
+// The paper's future-work section (§6) requires messages to "contain
+// unique identifiers so that they can be distinguished from each other";
+// we give every message a 32-bit device id and a 32-bit sequence number.
+// The sequence number doubles as the AEAD nonce component when payload
+// encryption is enabled and lets receivers estimate loss from gaps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_buffer.hpp"
+#include "util/units.hpp"
+
+namespace wile::core {
+
+enum class MessageType : std::uint8_t {
+  Telemetry = 1,  // periodic sensor reading (the paper's temperature demo)
+  Event = 2,      // asynchronous notification
+  Downlink = 3,   // controller -> device (two-way extension, §6)
+  Probe = 4,      // device discovery / liveness
+  /// Controller -> device acknowledgment of an uplink message; the
+  /// 4-byte little-endian payload is the acknowledged sequence number.
+  /// Rides RX windows like any Downlink and enables reliable mode.
+  Ack = 5,
+};
+
+/// Two-way extension (§6): the device announces that it will listen for
+/// `duration` starting `offset` after the end of this beacon.
+struct RxWindow {
+  Duration offset = msec(2);
+  Duration duration = msec(20);
+
+  friend bool operator==(const RxWindow&, const RxWindow&) = default;
+};
+
+struct Message {
+  std::uint32_t device_id = 0;
+  std::uint32_t sequence = 0;
+  MessageType type = MessageType::Telemetry;
+  Bytes data;
+  std::optional<RxWindow> rx_window;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace wile::core

@@ -1,0 +1,113 @@
+#include "wile/receiver.hpp"
+
+#include <cstdio>
+
+#include "dot11/mgmt.hpp"
+
+namespace wile::core {
+
+Receiver::Receiver(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+                   ReceiverConfig config)
+    : scheduler_(scheduler),
+      medium_(medium),
+      config_(std::move(config)),
+      codec_(config_.key ? Codec{*config_.key} : Codec{}) {
+  node_id_ = medium_.attach(this, position);
+}
+
+bool Receiver::rx_enabled() const { return true; }  // mains-powered monitor
+
+void Receiver::on_corrupt_frame(const sim::RxFrame&, bool collision) {
+  ++stats_.fcs_failures;
+  if (collision) ++stats_.collisions_observed;
+}
+
+void Receiver::on_frame(const sim::RxFrame& frame) {
+  auto parsed = dot11::parse_mpdu(frame.mpdu);
+  if (!parsed) return;
+  if (!parsed->fcs_ok) {
+    ++stats_.fcs_failures;
+    return;
+  }
+  if (!parsed->header.fc.is_mgmt(dot11::MgmtSubtype::Beacon)) return;
+  ++stats_.beacons_seen;
+
+  auto beacon = dot11::Beacon::decode(parsed->body);
+  if (!beacon) return;
+  if (config_.require_hidden_ssid && !dot11::has_hidden_ssid(beacon->ies)) return;
+
+  RxMeta meta;
+  meta.received_at = scheduler_.now();
+  meta.rssi_dbm = frame.rx_power_dbm;
+  meta.bssid = parsed->header.addr3;
+
+  bool any = false;
+  // Related-work arm: SSID-stuffed beacons (§2) carry data in the SSID
+  // field itself.
+  if (const auto ssid = dot11::parse_ssid_ie(beacon->ies)) {
+    if (auto fragment = decode_ssid_stuffed(*ssid)) {
+      any = true;
+      ++stats_.fragments;
+      accept_fragment(*fragment, meta);
+    }
+  }
+  for (const dot11::InfoElement* ie :
+       beacon->ies.find_all(dot11::IeId::VendorSpecific)) {
+    DecodeError error{};
+    auto fragment = codec_.decode(*ie, &error);
+    if (!fragment) {
+      if (error == DecodeError::BadCrc) ++stats_.crc_failures;
+      if (error == DecodeError::DecryptFailed) ++stats_.decrypt_failures;
+      continue;
+    }
+    any = true;
+    ++stats_.fragments;
+    accept_fragment(*fragment, meta);
+  }
+  if (any) ++stats_.wile_beacons;
+}
+
+std::string Receiver::devices_csv() const {
+  std::string out =
+      "device_id,messages,losses,loss_pct,last_seq,first_seen_s,last_seen_s,rssi_dbm\n";
+  char line[160];
+  for (const auto& [id, dev] : devices_) {
+    const double total = static_cast<double>(dev.messages + dev.estimated_losses);
+    const double loss_pct =
+        total > 0 ? 100.0 * static_cast<double>(dev.estimated_losses) / total : 0.0;
+    std::snprintf(line, sizeof(line), "%u,%llu,%llu,%.2f,%u,%.3f,%.3f,%.1f\n", id,
+                  static_cast<unsigned long long>(dev.messages),
+                  static_cast<unsigned long long>(dev.estimated_losses), loss_pct,
+                  dev.last_sequence, to_seconds(dev.first_seen.since_epoch()),
+                  to_seconds(dev.last_seen.since_epoch()), dev.last_rssi_dbm);
+    out += line;
+  }
+  return out;
+}
+
+void Receiver::accept_fragment(const Fragment& fragment, const RxMeta& meta) {
+  auto message = reassembler_.add(fragment);
+  if (!message) return;
+
+  auto [it, inserted] = devices_.try_emplace(message->device_id);
+  DeviceInfo& dev = it->second;
+  if (inserted) {
+    dev.device_id = message->device_id;
+    dev.first_seen = meta.received_at;
+  } else {
+    if (message->sequence == dev.last_sequence) {
+      ++stats_.duplicates;
+      return;
+    }
+    if (message->sequence < dev.last_sequence) return;  // stale/reordered
+    dev.estimated_losses += message->sequence - dev.last_sequence - 1;
+  }
+  dev.last_sequence = message->sequence;
+  dev.last_seen = meta.received_at;
+  dev.last_rssi_dbm = meta.rssi_dbm;
+  ++dev.messages;
+  ++stats_.messages;
+  if (callback_) callback_(*message, meta);
+}
+
+}  // namespace wile::core

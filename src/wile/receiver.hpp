@@ -1,0 +1,99 @@
+// The Wi-LE receiver — any WiFi device in monitor mode, or an ordinary
+// smartphone/laptop whose OS surfaces received beacons (§4: "Upon
+// receiving a WiFi beacon frame, the MAC layer forwards it to higher
+// layer ... an application looks for special beacon frames transmitted
+// by IoT devices and extracts their data").
+//
+// The receiver is passive: it never transmits, it just watches the
+// medium for beacons carrying Wi-LE vendor elements, reassembles
+// fragments, de-duplicates by (device, sequence), and keeps a per-device
+// registry with loss estimates from sequence gaps.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dot11/frame.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "wile/codec.hpp"
+
+namespace wile::core {
+
+struct ReceiverConfig {
+  /// Device key for encrypted payloads (must match the senders').
+  std::optional<Bytes> key;
+  /// Accept only beacons using the hidden-SSID discipline (reject
+  /// spoofed-SSID senders). Off by default: a monitor sees everything.
+  bool require_hidden_ssid = false;
+};
+
+struct ReceiverStats {
+  std::uint64_t beacons_seen = 0;         // all beacons, Wi-LE or not
+  std::uint64_t wile_beacons = 0;         // beacons with >= 1 Wi-LE element
+  std::uint64_t fragments = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t crc_failures = 0;
+  std::uint64_t decrypt_failures = 0;
+  std::uint64_t fcs_failures = 0;         // corrupt radio frames observed
+  std::uint64_t collisions_observed = 0;
+};
+
+struct DeviceInfo {
+  std::uint32_t device_id = 0;
+  std::uint32_t last_sequence = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t estimated_losses = 0;  // from sequence gaps
+  TimePoint first_seen{};
+  TimePoint last_seen{};
+  double last_rssi_dbm = 0.0;
+};
+
+struct RxMeta {
+  TimePoint received_at{};
+  double rssi_dbm = 0.0;
+  MacAddress bssid;  // the fake-AP address the device used
+};
+
+class Receiver : public sim::MediumClient {
+ public:
+  Receiver(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+           ReceiverConfig config = {});
+
+  using MessageCallback = std::function<void(const Message&, const RxMeta&)>;
+  void set_message_callback(MessageCallback cb) { callback_ = std::move(cb); }
+
+  [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
+  /// Registry ordered by device id (stable iteration for tests/benches).
+  [[nodiscard]] const std::map<std::uint32_t, DeviceInfo>& devices() const {
+    return devices_;
+  }
+
+  /// Device registry as CSV ("device_id,messages,losses,loss_pct,
+  /// last_seq,first_seen_s,last_seen_s,rssi_dbm") for ops dashboards.
+  [[nodiscard]] std::string devices_csv() const;
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+
+  // --- sim::MediumClient -----------------------------------------------------
+  void on_frame(const sim::RxFrame& frame) override;
+  void on_corrupt_frame(const sim::RxFrame& frame, bool collision) override;
+  [[nodiscard]] bool rx_enabled() const override;
+
+ private:
+  void accept_fragment(const Fragment& fragment, const RxMeta& meta);
+
+  sim::Scheduler& scheduler_;
+  sim::Medium& medium_;
+  ReceiverConfig config_;
+  sim::NodeId node_id_;
+  Codec codec_;
+  Reassembler reassembler_;
+  MessageCallback callback_;
+  ReceiverStats stats_;
+  std::map<std::uint32_t, DeviceInfo> devices_;
+};
+
+}  // namespace wile::core

@@ -1,0 +1,53 @@
+#include "wile/scan_list.hpp"
+
+#include <algorithm>
+
+#include "dot11/mgmt.hpp"
+
+namespace wile::core {
+
+ScanListModel::ScanListModel(sim::Scheduler& scheduler, sim::Medium& medium,
+                             sim::Position position)
+    : scheduler_(scheduler) {
+  medium.attach(this, position);
+}
+
+void ScanListModel::on_frame(const sim::RxFrame& frame) {
+  auto parsed = dot11::parse_mpdu(frame.mpdu);
+  if (!parsed || !parsed->fcs_ok) return;
+  const auto& fc = parsed->header.fc;
+  const bool beacon = fc.is_mgmt(dot11::MgmtSubtype::Beacon);
+  const bool probe_resp = fc.is_mgmt(dot11::MgmtSubtype::ProbeResponse);
+  if (!beacon && !probe_resp) return;
+
+  // Beacon and probe-response bodies share the layout.
+  auto body = dot11::Beacon::decode(parsed->body);
+  if (!body) return;
+  ++beacons_;
+
+  const auto ssid = dot11::parse_ssid_ie(body->ies);
+  const MacAddress bssid = parsed->header.addr3;
+  if (!ssid || ssid->empty()) {
+    ++hidden_[bssid];
+    return;
+  }
+  VisibleNetwork& net = networks_[bssid];
+  net.ssid = *ssid;
+  net.bssid = bssid;
+  net.rssi_dbm = frame.rx_power_dbm;
+  net.last_seen = scheduler_.now();
+  net.rsn_protected = dot11::has_rsn_psk(body->ies);
+  ++net.beacons;
+}
+
+std::vector<VisibleNetwork> ScanListModel::visible() const {
+  std::vector<VisibleNetwork> out;
+  out.reserve(networks_.size());
+  for (const auto& [bssid, net] : networks_) out.push_back(net);
+  std::sort(out.begin(), out.end(), [](const VisibleNetwork& a, const VisibleNetwork& b) {
+    return a.rssi_dbm > b.rssi_dbm;
+  });
+  return out;
+}
+
+}  // namespace wile::core

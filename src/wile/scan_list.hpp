@@ -1,0 +1,59 @@
+// Model of an operating system's "available WiFi networks" list.
+//
+// §4.1's spam concern, verbatim: "Users would see a long list of fake
+// access points on their phones or computers which can adversely impact
+// the user experience. To avoid this problem, Wi-LE utilizes the
+// 'hidden SSID' mechanism... As a result, the access point is not shown
+// on the list of available WiFi networks."
+//
+// This class behaves like the scan-results UI of a phone: it collects
+// beacons/probe responses, groups them by BSSID, and shows only entries
+// with a non-empty SSID. Tests and the spam ablation use it to verify
+// that a fleet of Wi-LE devices leaves the user's list untouched while
+// spoofed-SSID devices pollute it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dot11/frame.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wile::core {
+
+struct VisibleNetwork {
+  std::string ssid;
+  MacAddress bssid;
+  double rssi_dbm = 0.0;
+  TimePoint last_seen{};
+  std::uint64_t beacons = 0;
+  bool rsn_protected = false;
+};
+
+class ScanListModel : public sim::MediumClient {
+ public:
+  ScanListModel(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position);
+
+  /// What the user sees: networks with an advertised (non-hidden) SSID,
+  /// strongest first — like every phone's WiFi settings page.
+  [[nodiscard]] std::vector<VisibleNetwork> visible() const;
+
+  /// BSSIDs heard advertising a hidden SSID (the OS knows they exist but
+  /// does not list them).
+  [[nodiscard]] std::size_t hidden_networks() const { return hidden_.size(); }
+
+  [[nodiscard]] std::uint64_t beacons_processed() const { return beacons_; }
+
+  void on_frame(const sim::RxFrame& frame) override;
+  [[nodiscard]] bool rx_enabled() const override { return true; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  std::map<MacAddress, VisibleNetwork> networks_;  // advertised SSIDs
+  std::map<MacAddress, std::uint64_t> hidden_;     // hidden-SSID BSSIDs
+  std::uint64_t beacons_ = 0;
+};
+
+}  // namespace wile::core

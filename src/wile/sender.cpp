@@ -1,0 +1,318 @@
+#include "wile/sender.hpp"
+
+#include "dot11/frame.hpp"
+#include "dot11/mgmt.hpp"
+
+namespace wile::core {
+
+namespace {
+// Phase labels matching the legend of Figure 3b.
+constexpr const char* kPhaseSleep = "Sleep";
+constexpr const char* kPhaseInit = "MC/WiFi init";
+constexpr const char* kPhaseTx = "Tx";
+constexpr const char* kPhaseRxWindow = "RxWindow";
+}  // namespace
+
+Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+               SenderConfig config, Rng rng)
+    : scheduler_(scheduler),
+      medium_(medium),
+      config_(std::move(config)),
+      rng_(rng),
+      timeline_(config_.power.supply),
+      tracker_(scheduler, timeline_, config_.power.radio_tx, config_.power.tx_ramp),
+      codec_(config_.key ? Codec{*config_.key} : Codec{}) {
+  if (config_.mac.is_zero()) {
+    config_.mac = MacAddress::from_seed(0xB13C000ULL + config_.device_id);
+  }
+  node_id_ = medium_.attach(this, position);
+  sim::CsmaConfig csma_cfg;
+  csma_cfg.tx_power_dbm = config_.tx_power_dbm;
+  csma_cfg.band = config_.band;
+  csma_ = std::make_unique<sim::Csma>(scheduler_, medium_, node_id_, rng_.fork(), csma_cfg);
+  csma_->set_tx_listener(
+      [this](Duration airtime, phy::WifiRate) { tracker_.on_tx_start(airtime); });
+
+  // Precompute the constant beacon-body prefix: timestamp placeholder is
+  // patched per send; SSID (hidden unless spoofed), rates and channel
+  // never change for a device.
+  dot11::Beacon prototype;
+  prototype.beacon_interval_tu = config_.beacon_interval_tu;
+  prototype.capability = dot11::Capability::kEss | dot11::Capability::kShortSlot;
+  prototype.ies.add(dot11::make_ssid_ie(config_.spoofed_ssid));  // "" = hidden
+  prototype.ies.add(dot11::make_supported_rates_ie(dot11::default_bg_rates()));
+  prototype.ies.add(dot11::make_ds_param_ie(6));
+  body_prefix_ = prototype.encode();
+
+  timeline_.set_current(scheduler_.now(), config_.power.deep_sleep, kPhaseSleep);
+}
+
+bool Sender::rx_enabled() const {
+  return phase_ == Phase::RxWindow && !medium_.transmitting(node_id_);
+}
+
+void Sender::send_now(Bytes data, SendCallback done) {
+  if (phase_ != Phase::DeepSleep) {
+    throw std::logic_error("wile::Sender: send_now requires deep sleep");
+  }
+  begin_cycle(std::move(data), std::move(done));
+}
+
+void Sender::start_duty_cycle(PayloadProvider provider, SendCallback per_cycle) {
+  if (!provider) throw std::invalid_argument("wile::Sender: null payload provider");
+  duty_cycling_ = true;
+  provider_ = std::move(provider);
+  per_cycle_ = std::move(per_cycle);
+  schedule_next_cycle();
+}
+
+void Sender::stop_duty_cycle() { duty_cycling_ = false; }
+
+Duration Sender::jittered_period() {
+  double period_us = static_cast<double>(config_.period.count());
+  period_us *= 1.0 + config_.clock_ppm_error * 1e-6;
+  if (config_.wake_jitter.count() > 0) {
+    period_us += static_cast<double>(
+        rng_.range(-config_.wake_jitter.count(), config_.wake_jitter.count()));
+  }
+  return Duration{static_cast<std::int64_t>(period_us)};
+}
+
+void Sender::schedule_next_cycle() {
+  scheduler_.schedule_in(jittered_period(), [this] {
+    if (!duty_cycling_) return;
+    // Maintain the wake cadence: the next timer runs from this wake-up,
+    // not from cycle completion (the deep-sleep timer on the ESP32 is
+    // armed before sleeping, so the period is wake-to-wake).
+    schedule_next_cycle();
+    if (phase_ != Phase::DeepSleep) return;  // previous cycle still busy
+    // Reliable mode: don't consume fresh sensor data while a
+    // retransmission is pending.
+    Bytes data = will_retransmit() ? Bytes{} : provider_();
+    begin_cycle(std::move(data), [this](const SendReport& report) {
+      if (per_cycle_) per_cycle_(report);
+    });
+  });
+}
+
+Bytes Sender::build_beacon_mpdu(const dot11::InfoElement& vendor_ie) {
+  // Patch the precomputed prefix: timestamp (first 8 bytes of the body).
+  Bytes body = body_prefix_;
+  const auto ts = static_cast<std::uint64_t>(scheduler_.now().us());
+  for (int i = 0; i < 8; ++i) body[i] = static_cast<std::uint8_t>(ts >> (8 * i));
+  // Append the data-bearing vendor element.
+  ByteWriter ie_w(2 + vendor_ie.data.size());
+  ie_w.u8(static_cast<std::uint8_t>(vendor_ie.id));
+  ie_w.u8(static_cast<std::uint8_t>(vendor_ie.data.size()));
+  ie_w.bytes(vendor_ie.data);
+  const Bytes ie_bytes = ie_w.take();
+  body.insert(body.end(), ie_bytes.begin(), ie_bytes.end());
+
+  dot11::MacHeader h;
+  h.fc = dot11::FrameControl::mgmt(dot11::MgmtSubtype::Beacon);
+  h.addr1 = MacAddress::broadcast();
+  h.addr2 = config_.mac;
+  h.addr3 = config_.mac;  // the device itself is the (fake) BSSID
+  h.set_sequence(seq_ctl_++ & 0x0fff);
+  return dot11::assemble_mpdu(h, body);
+}
+
+Bytes Sender::build_ssid_stuffed_mpdu(const std::string& stuffed_ssid) {
+  dot11::Beacon beacon;
+  beacon.timestamp_us = static_cast<std::uint64_t>(scheduler_.now().us());
+  beacon.beacon_interval_tu = config_.beacon_interval_tu;
+  beacon.capability = dot11::Capability::kEss | dot11::Capability::kShortSlot;
+  beacon.ies.add(dot11::make_ssid_ie(stuffed_ssid));  // data in the SSID itself
+  beacon.ies.add(dot11::make_supported_rates_ie(dot11::default_bg_rates()));
+  beacon.ies.add(dot11::make_ds_param_ie(6));
+
+  dot11::MacHeader h;
+  h.fc = dot11::FrameControl::mgmt(dot11::MgmtSubtype::Beacon);
+  h.addr1 = MacAddress::broadcast();
+  h.addr2 = config_.mac;
+  h.addr3 = config_.mac;
+  h.set_sequence(seq_ctl_++ & 0x0fff);
+  return dot11::assemble_mpdu(h, beacon.encode());
+}
+
+void Sender::begin_cycle(Bytes data, SendCallback done) {
+  ++cycles_;
+  cycle_done_ = std::move(done);
+  wake_time_ = scheduler_.now();
+  cycle_airtime_ = Duration{0};
+  cycle_beacons_ = 0;
+  cycle_downlinks_ = 0;
+  cycle_failed_ = false;
+  cycle_acked_ = false;
+  cycle_retransmission_ = false;
+
+  Message message;
+  if (will_retransmit()) {
+    // Reliable mode: repeat the unacknowledged message, same sequence.
+    message = *unacked_;
+    cycle_retransmission_ = true;
+  } else {
+    if (config_.reliable && unacked_) {
+      // Retry budget exhausted: abandon and move on.
+      ++dropped_unacked_;
+      unacked_.reset();
+      unacked_attempts_ = 0;
+    }
+    message.device_id = config_.device_id;
+    message.sequence = sequence_++;
+    message.type = MessageType::Telemetry;
+    message.data = std::move(data);
+    message.rx_window = config_.rx_window;
+  }
+  if (config_.reliable) {
+    unacked_ = message;
+    ++unacked_attempts_;
+  }
+
+  std::vector<Bytes> mpdus;
+  try {
+    std::vector<Bytes> once;
+    if (config_.ssid_stuffing) {
+      if (auto stuffed = encode_ssid_stuffed(message)) {
+        once.push_back(build_ssid_stuffed_mpdu(*stuffed));
+      } else {
+        cycle_failed_ = true;  // message does not fit the SSID field
+      }
+    } else {
+      for (const auto& ie : codec_.encode(message)) {
+        once.push_back(build_beacon_mpdu(ie));
+      }
+    }
+    // Open-loop reliability: repeat the whole fragment train. Receivers
+    // drop the duplicates by (device, sequence).
+    const int repeats = std::max(config_.repeats, 1);
+    for (int r = 0; r < repeats; ++r) {
+      mpdus.insert(mpdus.end(), once.begin(), once.end());
+    }
+  } catch (const std::invalid_argument&) {
+    cycle_failed_ = true;
+  }
+
+  phase_ = Phase::Init;
+  tracker_.set_phase(config_.power.cpu_active, kPhaseInit);
+  const Duration init =
+      config_.power.boot_from_deep_sleep + config_.power.wifi_inject_init;
+  scheduler_.schedule_in(init, [this, mpdus = std::move(mpdus)]() mutable {
+    if (cycle_failed_ || mpdus.empty()) {
+      finish_cycle();
+      return;
+    }
+    phase_ = Phase::Tx;
+    tracker_.set_phase(config_.power.cpu_active, kPhaseTx);
+    inject_fragments(std::move(mpdus), 0);
+  });
+}
+
+void Sender::inject_fragments(std::vector<Bytes> mpdus, std::size_t index) {
+  if (index >= mpdus.size()) {
+    after_last_beacon();
+    return;
+  }
+  const Bytes& mpdu = mpdus[index];
+  const Duration airtime = phy::frame_airtime(mpdu.size(), config_.rate, config_.band);
+  cycle_airtime_ += airtime;
+  ++cycle_beacons_;
+
+  if (config_.use_csma) {
+    csma_->send(mpdu, config_.rate, /*expect_ack=*/false,
+                [this, mpdus = std::move(mpdus), index](const sim::Csma::Result&) mutable {
+                  inject_fragments(std::move(mpdus), index + 1);
+                });
+  } else {
+    // Raw injection: fire immediately, no carrier sense (E7 ablation).
+    sim::TxRequest req;
+    req.mpdu = mpdu;
+    req.airtime = airtime;
+    req.tx_power_dbm = config_.tx_power_dbm;
+    req.rate = config_.rate;
+    req.on_complete = [this, mpdus = std::move(mpdus), index]() mutable {
+      inject_fragments(std::move(mpdus), index + 1);
+    };
+    tracker_.on_tx_start(airtime);
+    medium_.transmit(node_id_, std::move(req));
+  }
+}
+
+void Sender::after_last_beacon() {
+  if (!config_.rx_window) {
+    finish_cycle();
+    return;
+  }
+  // Two-way extension: idle briefly, then listen for the announced
+  // window. The radio draws RX current for the whole window — this is
+  // the energy cost E8 measures against always-on listening.
+  phase_ = Phase::Tx;  // offset gap: radio on but not yet listening
+  tracker_.set_phase(config_.power.cpu_active, kPhaseRxWindow);
+  scheduler_.schedule_in(config_.rx_window->offset, [this] {
+    phase_ = Phase::RxWindow;
+    tracker_.set_phase(config_.power.radio_rx, kPhaseRxWindow);
+    scheduler_.schedule_in(config_.rx_window->duration, [this] { finish_cycle(); });
+  });
+}
+
+void Sender::finish_cycle() {
+  phase_ = Phase::Shutdown;
+  tracker_.set_phase(config_.power.cpu_active, kPhaseInit);
+  scheduler_.schedule_in(config_.power.shutdown_time, [this] {
+    phase_ = Phase::DeepSleep;
+    tracker_.set_phase(config_.power.deep_sleep, kPhaseSleep);
+
+    SendReport report;
+    report.success = !cycle_failed_ && cycle_beacons_ > 0;
+    report.sequence = sequence_ - 1;
+    report.beacons_sent = cycle_beacons_;
+    report.tx_airtime = cycle_airtime_;
+    const Duration tx_time =
+        cycle_airtime_ + Duration{config_.power.tx_ramp.count() * cycle_beacons_};
+    report.tx_only_energy = tx_power_draw() * tx_time;
+    report.active_time = scheduler_.now() - wake_time_;
+    report.cycle_energy = timeline_.energy_between(wake_time_, scheduler_.now());
+    report.downlinks_received = cycle_downlinks_;
+    report.acked = cycle_acked_;
+    report.retransmission = cycle_retransmission_;
+    if (cycle_done_) {
+      auto cb = std::move(cycle_done_);
+      cycle_done_ = {};
+      cb(report);
+    }
+  });
+}
+
+void Sender::on_frame(const sim::RxFrame& frame) {
+  if (phase_ != Phase::RxWindow) return;
+  auto parsed = dot11::parse_mpdu(frame.mpdu);
+  if (!parsed || !parsed->fcs_ok) return;
+  if (!parsed->header.fc.is_mgmt(dot11::MgmtSubtype::Beacon)) return;
+  auto beacon = dot11::Beacon::decode(parsed->body);
+  if (!beacon) return;
+  for (const Fragment& f : codec_.decode_all(beacon->ies)) {
+    if (f.device_id != config_.device_id) continue;
+    if (f.type == MessageType::Ack) {
+      // Reliable mode: match the acknowledged sequence number.
+      if (config_.reliable && unacked_ && f.data.size() == 4) {
+        ByteReader r{f.data};
+        if (r.u32le() == unacked_->sequence) {
+          cycle_acked_ = true;
+          unacked_.reset();
+          unacked_attempts_ = 0;
+        }
+      }
+      continue;
+    }
+    if (f.type != MessageType::Downlink) continue;
+    Message m;
+    m.device_id = f.device_id;
+    m.sequence = f.sequence;
+    m.type = f.type;
+    m.data = f.data;
+    ++cycle_downlinks_;
+    if (downlink_cb_) downlink_cb_(m);
+  }
+}
+
+}  // namespace wile::core

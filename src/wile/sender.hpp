@@ -1,0 +1,218 @@
+// The Wi-LE sender — the paper's core contribution (§4).
+//
+// An IoT device that never associates: it wakes from deep sleep,
+// enables the radio just enough to inject one (or a few) fake 802.11
+// beacon frames carrying its data in vendor-specific elements with a
+// hidden SSID, and goes straight back to deep sleep. "When the
+// microcontroller wakes up, it embeds its data in a beacon frame,
+// transmits it immediately and goes back to sleep. Note that Wi-LE does
+// not associate with an AP for transmission."
+//
+// The beacon's constant parts (MAC header template, SSID/rates/DS
+// elements) are precomputed once, mirroring §5.4's observation that "the
+// content of the packet including all of the headers can be pre-computed
+// and then only the IoT device's data needs to be inserted".
+//
+// Optional extensions implemented from §6:
+//   * clock-jittered periods, so co-periodic devices drift apart;
+//   * per-device payload encryption (see codec.hpp);
+//   * two-way communication: a beacon can announce a short RX window
+//     during which the device listens for Downlink messages.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "phy/airtime.hpp"
+#include "power/devices.hpp"
+#include "power/radio_tracker.hpp"
+#include "power/timeline.hpp"
+#include "sim/csma.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "util/mac_address.hpp"
+#include "util/rng.hpp"
+#include "wile/codec.hpp"
+
+namespace wile::core {
+
+struct SenderConfig {
+  std::uint32_t device_id = 1;
+  /// Locally-administered MAC the fake beacons claim as their BSSID.
+  /// Zero = derive from device_id.
+  MacAddress mac = MacAddress::zero();
+  phy::WifiRate rate = phy::WifiRate::Mcs7Sgi;  // 72 Mbps, §5.4
+  /// §1 suggests 5 GHz to escape the crowded 2.4 GHz band; pair with a
+  /// Medium built from phy::ChannelConfig::for_band(Band::G5).
+  phy::Band band = phy::Band::G2_4;
+  double tx_power_dbm = 0.0;                    // §5.4: 0 dBm, BLE-class range
+  /// 16-byte device key enabling payload encryption (§6 "Security").
+  std::optional<Bytes> key;
+
+  /// Duty-cycle period (the paper sweeps 0-5 minutes in Fig. 4).
+  Duration period = minutes(1);
+  /// Systematic clock error in parts-per-million (±). Real sleep clocks
+  /// have tens of ppm; §6 argues this drift un-synchronises colliding
+  /// devices. Applied multiplicatively to every period.
+  double clock_ppm_error = 0.0;
+  /// Additional uniform per-wake jitter (± this amount).
+  Duration wake_jitter = Duration{0};
+
+  /// Defer to CSMA before injecting (polite: checks the channel). The
+  /// off setting models the cheapest possible injector and is what the
+  /// collision ablation (E7) exercises.
+  bool use_csma = true;
+
+  /// Inject each beacon this many times per cycle (1 = paper behaviour).
+  /// Broadcast frames carry no ACK, so repetition is the standard
+  /// open-loop reliability lever; receivers de-duplicate by sequence
+  /// number. Energy per message scales linearly.
+  int repeats = 1;
+
+  /// Advertised beacon interval field in the fake beacon (TUs).
+  std::uint16_t beacon_interval_tu = 100;
+  /// Non-empty = advertise this SSID openly instead of the hidden-SSID
+  /// null element (the spam ablation; §4.1 explains why hidden wins).
+  std::string spoofed_ssid;
+
+  /// Related-work arm (§2, beacon-stuffing): carry the message in the
+  /// SSID field itself instead of a vendor IE. Caps the payload at
+  /// kSsidStuffingCapacity bytes, truncates the sequence number to 8
+  /// bits, forgoes encryption/fragmentation/rx-windows — and spams every
+  /// nearby scan list. Mutually exclusive with spoofed_ssid.
+  bool ssid_stuffing = false;
+
+  /// Two-way extension: announce an RX window on every beacon.
+  std::optional<RxWindow> rx_window;
+
+  /// Reliable mode (a §6-grade extension): retransmit a message — same
+  /// sequence number — on subsequent cycles until a controller Ack
+  /// arrives in the RX window, up to reliable_max_attempts per message.
+  /// Requires rx_window; pair with ControllerConfig::auto_ack.
+  bool reliable = false;
+  int reliable_max_attempts = 3;
+
+  power::Esp32PowerProfile power{};
+};
+
+struct SendReport {
+  bool success = false;
+  std::uint32_t sequence = 0;
+  int beacons_sent = 0;       // fragments transmitted
+  Duration tx_airtime{};      // on-air time, all fragments
+  /// Reliable mode: this cycle's message was acknowledged in its window.
+  bool acked = false;
+  /// Reliable mode: this cycle retransmitted a previously unacked message.
+  bool retransmission = false;
+  /// Table-1 accounting: "we consider only the time required to transmit
+  /// the packet" — (airtime + PA ramp) x TX power draw.
+  Joules tx_only_energy{};
+  /// Whole wake->sleep cycle energy, init and shutdown included.
+  Joules cycle_energy{};
+  Duration active_time{};
+  std::size_t downlinks_received = 0;  // during this cycle's RX window
+};
+
+class Sender : public sim::MediumClient {
+ public:
+  Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+         SenderConfig config, Rng rng);
+
+  using SendCallback = std::function<void(const SendReport&)>;
+  using PayloadProvider = std::function<Bytes()>;
+  using DownlinkCallback = std::function<void(const Message&)>;
+
+  /// One-shot: wake from deep sleep, inject, sleep, report.
+  void send_now(Bytes data, SendCallback done);
+
+  /// Periodic operation: every (jittered) period, wake and transmit
+  /// whatever `provider` returns. `per_cycle` fires after each cycle.
+  void start_duty_cycle(PayloadProvider provider, SendCallback per_cycle = {});
+  void stop_duty_cycle();
+
+  /// Deliver Downlink messages received during announced RX windows.
+  void set_downlink_callback(DownlinkCallback cb) { downlink_cb_ = std::move(cb); }
+
+  [[nodiscard]] const power::PowerTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] const SenderConfig& config() const { return config_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] std::uint32_t next_sequence() const { return sequence_; }
+  [[nodiscard]] std::uint64_t cycles_run() const { return cycles_; }
+  /// Reliable mode: messages abandoned after reliable_max_attempts.
+  [[nodiscard]] std::uint64_t messages_dropped_unacked() const {
+    return dropped_unacked_;
+  }
+
+  /// TX power draw (P_tx of Eq. 1) for this device profile.
+  [[nodiscard]] Watts tx_power_draw() const {
+    return config_.power.supply * config_.power.radio_tx;
+  }
+  /// Idle power draw (P_idle of Eq. 1): deep sleep.
+  [[nodiscard]] Watts idle_power_draw() const {
+    return config_.power.supply * config_.power.deep_sleep;
+  }
+
+  // --- sim::MediumClient -----------------------------------------------------
+  void on_frame(const sim::RxFrame& frame) override;
+  [[nodiscard]] bool rx_enabled() const override;
+
+ private:
+  enum class Phase { DeepSleep, Init, Tx, RxWindow, Shutdown };
+
+  void begin_cycle(Bytes data, SendCallback done);
+  void inject_fragments(std::vector<Bytes> mpdus, std::size_t index);
+  void after_last_beacon();
+  void finish_cycle();
+  void schedule_next_cycle();
+  [[nodiscard]] Bytes build_beacon_mpdu(const dot11::InfoElement& vendor_ie);
+  [[nodiscard]] Bytes build_ssid_stuffed_mpdu(const std::string& stuffed_ssid);
+  [[nodiscard]] Duration jittered_period();
+
+  sim::Scheduler& scheduler_;
+  sim::Medium& medium_;
+  SenderConfig config_;
+  Rng rng_;
+  sim::NodeId node_id_;
+  std::unique_ptr<sim::Csma> csma_;
+  power::PowerTimeline timeline_;
+  power::RadioPowerTracker tracker_;
+  Codec codec_;
+
+  /// Precomputed beacon-body prefix (everything before the vendor IEs).
+  Bytes body_prefix_;
+
+  Phase phase_ = Phase::DeepSleep;
+  std::uint32_t sequence_ = 0;
+  std::uint16_t seq_ctl_ = 0;
+  std::uint64_t cycles_ = 0;
+
+  // current cycle bookkeeping
+  SendCallback cycle_done_;
+  TimePoint wake_time_{};
+  Duration cycle_airtime_{};
+  int cycle_beacons_ = 0;
+  std::size_t cycle_downlinks_ = 0;
+  bool cycle_failed_ = false;
+  bool cycle_acked_ = false;
+  bool cycle_retransmission_ = false;
+
+  // reliable mode
+  std::optional<Message> unacked_;
+  int unacked_attempts_ = 0;
+  std::uint64_t dropped_unacked_ = 0;
+  [[nodiscard]] bool will_retransmit() const {
+    return config_.reliable && unacked_ &&
+           unacked_attempts_ < config_.reliable_max_attempts;
+  }
+
+  // duty cycle
+  bool duty_cycling_ = false;
+  PayloadProvider provider_;
+  SendCallback per_cycle_;
+
+  DownlinkCallback downlink_cb_;
+};
+
+}  // namespace wile::core

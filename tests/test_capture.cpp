@@ -1,0 +1,119 @@
+// Tests for the pcap writer and the monitor-mode capture tap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dot11/frame.hpp"
+#include "sim/tap.hpp"
+#include "util/pcap.hpp"
+#include "wile/sender.hpp"
+
+namespace wile {
+namespace {
+
+TEST(Pcap, GlobalHeaderLayout) {
+  PcapBuffer buf{PcapLinkType::Ieee80211};
+  const Bytes& bytes = buf.bytes();
+  ASSERT_EQ(bytes.size(), 24u);
+  ByteReader r{bytes};
+  EXPECT_EQ(r.u32le(), 0xa1b2c3d4u);  // magic
+  EXPECT_EQ(r.u16le(), 2u);           // version major
+  EXPECT_EQ(r.u16le(), 4u);           // version minor
+  r.skip(8);                          // thiszone + sigfigs
+  EXPECT_EQ(r.u32le(), 65535u);       // snaplen
+  EXPECT_EQ(r.u32le(), 105u);         // LINKTYPE_IEEE802_11
+}
+
+TEST(Pcap, RecordHeaderCarriesTimestampAndLengths) {
+  PcapBuffer buf{PcapLinkType::Ieee80211};
+  const Bytes frame = {1, 2, 3, 4, 5};
+  buf.write(TimePoint{seconds(3) + usec(250)}, frame);
+  ASSERT_EQ(buf.frames_written(), 1u);
+
+  ByteReader r{buf.bytes()};
+  r.skip(24);
+  EXPECT_EQ(r.u32le(), 3u);    // seconds
+  EXPECT_EQ(r.u32le(), 250u);  // microseconds
+  EXPECT_EQ(r.u32le(), 5u);    // captured length
+  EXPECT_EQ(r.u32le(), 5u);    // original length
+  EXPECT_EQ(r.bytes_copy(5), frame);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Pcap, MultipleRecordsAppend) {
+  PcapBuffer buf{PcapLinkType::BluetoothLeLl};
+  buf.write(TimePoint{usec(1)}, Bytes{1});
+  buf.write(TimePoint{usec(2)}, Bytes{2, 3});
+  EXPECT_EQ(buf.frames_written(), 2u);
+  EXPECT_EQ(buf.bytes().size(), 24u + (16 + 1) + (16 + 2));
+}
+
+TEST(Pcap, FileWriterProducesIdenticalBytes) {
+  const std::string path = "/tmp/wile_test_capture.pcap";
+  {
+    PcapWriter file{path, PcapLinkType::Ieee80211};
+    file.write(TimePoint{usec(42)}, Bytes{0xaa, 0xbb});
+    file.flush();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  Bytes contents(1024);
+  const std::size_t n = std::fread(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  contents.resize(n);
+  std::remove(path.c_str());
+
+  PcapBuffer buf{PcapLinkType::Ieee80211};
+  buf.write(TimePoint{usec(42)}, Bytes{0xaa, 0xbb});
+  EXPECT_EQ(contents, buf.bytes());
+}
+
+TEST(CaptureTap, RecordsEveryAudibleFrame) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  PcapBuffer pcap{PcapLinkType::Ieee80211};
+  sim::CaptureTap tap{scheduler, medium, {1, 0}, pcap};
+
+  core::SenderConfig cfg;
+  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
+  sender.send_now(Bytes{1, 2, 3}, {});
+  scheduler.run_until_idle();
+
+  EXPECT_EQ(tap.frames_captured(), 1u);
+  EXPECT_EQ(pcap.frames_written(), 1u);
+
+  // The captured bytes must be a valid beacon MPDU with intact FCS.
+  ByteReader r{pcap.bytes()};
+  r.skip(24 + 16);
+  const Bytes mpdu = r.bytes_copy(r.remaining());
+  const auto parsed = dot11::parse_mpdu(mpdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_TRUE(parsed->header.fc.is_mgmt(dot11::MgmtSubtype::Beacon));
+}
+
+TEST(CaptureTap, CorruptFramesOptIn) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  PcapBuffer clean_pcap{PcapLinkType::Ieee80211};
+  PcapBuffer all_pcap{PcapLinkType::Ieee80211};
+  sim::CaptureTap clean_tap{scheduler, medium, {0.5, 1}, clean_pcap, false};
+  sim::CaptureTap all_tap{scheduler, medium, {0.5, 1.1}, all_pcap, true};
+
+  // Two raw injectors colliding.
+  core::SenderConfig cfg;
+  cfg.use_csma = false;
+  core::Sender a{scheduler, medium, {0, 0}, cfg, Rng{2}};
+  cfg.device_id = 2;
+  core::Sender b{scheduler, medium, {1, 0}, cfg, Rng{3}};
+  a.send_now(Bytes{1}, {});
+  b.send_now(Bytes{2}, {});
+  scheduler.run_until_idle();
+
+  EXPECT_EQ(clean_tap.frames_captured(), 0u);
+  EXPECT_EQ(clean_tap.corrupt_seen(), 2u);
+  EXPECT_EQ(all_tap.frames_captured(), 2u);
+}
+
+}  // namespace
+}  // namespace wile

@@ -1,0 +1,463 @@
+// Unit tests for src/crypto against published known-answer vectors:
+// CRC-32 (IEEE), SHA-1 (FIPS 180), HMAC-SHA1 (RFC 2202), PBKDF2
+// (RFC 6070), WPA2 PSK (IEEE 802.11i Annex H), AES-128 (FIPS 197 /
+// SP 800-38A), AES-CMAC (RFC 4493), AES Key Wrap (RFC 3394), plus
+// property tests on the AEAD and CRC-24.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/aes_modes.hpp"
+#include "crypto/crc.hpp"
+#include "crypto/hmac_sha1.hpp"
+#include "crypto/pbkdf2.hpp"
+#include "crypto/prf80211.hpp"
+#include "crypto/sha1.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace wile::crypto {
+namespace {
+
+Bytes str_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+template <std::size_t N>
+std::string digest_hex(const std::array<std::uint8_t, N>& digest) {
+  return to_hex(BytesView{digest.data(), digest.size()});
+}
+
+// ---------------------------------------------------------------------------
+// CRC
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32(str_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(crc32({}), 0x00000000u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const Bytes all = str_bytes("the quick brown fox jumps over the lazy dog");
+  Crc32 inc;
+  inc.update(BytesView{all.data(), 10});
+  inc.update(BytesView{all.data() + 10, all.size() - 10});
+  EXPECT_EQ(inc.value(), crc32(all));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng{1};
+  Bytes data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  const std::uint32_t good = crc32(data);
+  for (int i = 0; i < 20; ++i) {
+    Bytes bad = data;
+    bad[rng.below(bad.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    if (bad == data) continue;
+    EXPECT_NE(crc32(bad), good);
+  }
+}
+
+TEST(Crc24Ble, DeterministicAndInitDependent) {
+  const Bytes pdu = str_bytes("BLE pdu body");
+  EXPECT_EQ(crc24_ble(pdu), crc24_ble(pdu));
+  EXPECT_NE(crc24_ble(pdu, 0x555555), crc24_ble(pdu, 0x123456));
+  EXPECT_LE(crc24_ble(pdu), 0xffffffu);
+}
+
+TEST(Crc24Ble, DetectsCorruption) {
+  Bytes pdu = str_bytes("advertising payload");
+  const std::uint32_t good = crc24_ble(pdu);
+  pdu[3] ^= 0x10;
+  EXPECT_NE(crc24_ble(pdu), good);
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1 (FIPS 180-4 examples)
+// ---------------------------------------------------------------------------
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha1::hash({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(digest_hex(Sha1::hash(str_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha1::hash(
+                str_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 s;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(digest_hex(s.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingSplitAgnostic) {
+  const Bytes msg = str_bytes("a message that will be split at several odd boundaries!!");
+  const auto expect = Sha1::hash(msg);
+  for (std::size_t split = 1; split < msg.size(); split += 7) {
+    Sha1 s;
+    s.update(BytesView{msg.data(), split});
+    s.update(BytesView{msg.data() + split, msg.size() - split});
+    EXPECT_EQ(s.finish(), expect) << "split at " << split;
+  }
+}
+
+TEST(Sha1, BoundaryLengthsAroundBlockSize) {
+  // 55/56/63/64/65 bytes exercise every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const Bytes msg(len, 'x');
+    Sha1 a;
+    a.update(msg);
+    const auto one = a.finish();
+    Sha1 b;
+    for (std::size_t i = 0; i < len; ++i) b.update(BytesView{&msg[i], 1});
+    EXPECT_EQ(b.finish(), one) << "len " << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA1 (RFC 2202)
+// ---------------------------------------------------------------------------
+
+TEST(HmacSha1, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(digest_hex(hmac_sha1(key, str_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(digest_hex(hmac_sha1(str_bytes("Jefe"),
+                                 str_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha1(key, data)), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, Rfc2202LongKey) {
+  // Case 6: 80-byte key forces the hash-the-key path.
+  const Bytes key(80, 0xaa);
+  EXPECT_EQ(digest_hex(hmac_sha1(
+                key, str_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1, StreamingMatchesOneShot) {
+  const Bytes key = str_bytes("streaming-key");
+  HmacSha1 mac(key);
+  mac.update(str_bytes("part one|"));
+  mac.update(str_bytes("part two"));
+  EXPECT_EQ(mac.finish(), hmac_sha1(key, str_bytes("part one|part two")));
+}
+
+// ---------------------------------------------------------------------------
+// PBKDF2 (RFC 6070) and WPA2 PSK (IEEE 802.11i Annex H)
+// ---------------------------------------------------------------------------
+
+TEST(Pbkdf2, Rfc6070Iter1) {
+  const Bytes dk = pbkdf2_hmac_sha1(str_bytes("password"), str_bytes("salt"), 1, 20);
+  EXPECT_EQ(to_hex(dk), "0c60c80f961f0e71f3a9b524af6012062fe037a6");
+}
+
+TEST(Pbkdf2, Rfc6070Iter2) {
+  const Bytes dk = pbkdf2_hmac_sha1(str_bytes("password"), str_bytes("salt"), 2, 20);
+  EXPECT_EQ(to_hex(dk), "ea6c014dc72d6f8ccd1ed92ace1d41f0d8de8957");
+}
+
+TEST(Pbkdf2, Rfc6070Iter4096) {
+  const Bytes dk = pbkdf2_hmac_sha1(str_bytes("password"), str_bytes("salt"), 4096, 20);
+  EXPECT_EQ(to_hex(dk), "4b007901b765489abead49d926f721d065a429c1");
+}
+
+TEST(Pbkdf2, Rfc6070MultiBlockOutput) {
+  const Bytes dk = pbkdf2_hmac_sha1(str_bytes("passwordPASSWORDpassword"),
+                                    str_bytes("saltSALTsaltSALTsaltSALTsaltSALTsalt"),
+                                    4096, 25);
+  EXPECT_EQ(to_hex(dk), "3d2eec4fe41c849b80c8d83662c0e44a8b291a964cf2f07038");
+}
+
+TEST(Wpa2Psk, Ieee80211iAnnexHVector) {
+  // Annex H.4.1: passphrase "password", SSID "IEEE".
+  EXPECT_EQ(to_hex(wpa2_psk("password", "IEEE")),
+            "f42c6fc52df0ebef9ebb4b90b38a5f902e83fe1b135a70e23aed762e9710a12e");
+}
+
+TEST(Wpa2Psk, Ieee80211iAnnexHVector2) {
+  EXPECT_EQ(to_hex(wpa2_psk("ThisIsAPassword", "ThisIsASSID")),
+            "0dc0d6eb90555ed6419756b9a15ec3e3209b63df707dd508d14581f8982721af");
+}
+
+// ---------------------------------------------------------------------------
+// 802.11i PRF / PTK derivation
+// ---------------------------------------------------------------------------
+
+TEST(Prf80211, OutputLengthAndDeterminism) {
+  const Bytes key(32, 0x11);
+  const Bytes data = str_bytes("prf seed");
+  const Bytes a = prf80211(key, "Pairwise key expansion", data, 48);
+  const Bytes b = prf80211(key, "Pairwise key expansion", data, 48);
+  EXPECT_EQ(a.size(), 48u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Prf80211, LabelSeparatesOutputs) {
+  const Bytes key(32, 0x22);
+  const Bytes data = str_bytes("seed");
+  EXPECT_NE(prf80211(key, "label one", data, 16), prf80211(key, "label two", data, 16));
+}
+
+TEST(DerivePtk, SymmetricInArgumentOrder) {
+  const Bytes pmk(32, 0x42);
+  const MacAddress aa = MacAddress::from_seed(1);
+  const MacAddress spa = MacAddress::from_seed(2);
+  Bytes anonce(32), snonce(32);
+  Rng rng{3};
+  for (auto& b : anonce) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& b : snonce) b = static_cast<std::uint8_t>(rng.below(256));
+
+  const auto ptk_ap = derive_ptk(pmk, aa, spa, anonce, snonce);
+  const auto ptk_sta = derive_ptk(pmk, spa, aa, snonce, anonce);
+  EXPECT_EQ(ptk_ap.kck, ptk_sta.kck);
+  EXPECT_EQ(ptk_ap.kek, ptk_sta.kek);
+  EXPECT_EQ(ptk_ap.tk, ptk_sta.tk);
+}
+
+TEST(DerivePtk, NonceChangesKeys) {
+  const Bytes pmk(32, 0x42);
+  const MacAddress aa = MacAddress::from_seed(1);
+  const MacAddress spa = MacAddress::from_seed(2);
+  Bytes anonce(32, 0x01), snonce(32, 0x02), other(32, 0x03);
+  const auto a = derive_ptk(pmk, aa, spa, anonce, snonce);
+  const auto b = derive_ptk(pmk, aa, spa, other, snonce);
+  EXPECT_NE(a.tk, b.tk);
+}
+
+TEST(DerivePtk, RejectsBadNonceSize) {
+  const Bytes pmk(32, 0x42);
+  const Bytes short_nonce(16, 0);
+  const Bytes nonce(32, 0);
+  EXPECT_THROW(derive_ptk(pmk, MacAddress::from_seed(1), MacAddress::from_seed(2),
+                          short_nonce, nonce),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AES-128 (FIPS 197 / SP 800-38A)
+// ---------------------------------------------------------------------------
+
+TEST(Aes128, Fips197Vector) {
+  const auto key = *from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = *from_hex("00112233445566778899aabbccddeeff");
+  Aes128 aes{key};
+  Aes128::Block block{};
+  std::copy(pt.begin(), pt.end(), block.begin());
+  const auto ct = aes.encrypt_block(block);
+  EXPECT_EQ(digest_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.decrypt_block(ct), block);
+}
+
+TEST(Aes128, Sp80038aEcbVector) {
+  const auto key = *from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = *from_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes{key};
+  Aes128::Block block{};
+  std::copy(pt.begin(), pt.end(), block.begin());
+  EXPECT_EQ(digest_hex(aes.encrypt_block(block)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, EncryptDecryptRoundTripProperty) {
+  Rng rng{12};
+  for (int trial = 0; trial < 50; ++trial) {
+    Aes128::Key key{};
+    Aes128::Block block{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(256));
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng.below(256));
+    Aes128 aes{key};
+    EXPECT_EQ(aes.decrypt_block(aes.encrypt_block(block)), block);
+  }
+}
+
+TEST(Aes128, RejectsWrongKeySize) {
+  const Bytes short_key(8, 0);
+  EXPECT_THROW(Aes128{BytesView{short_key}}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AES-CTR
+// ---------------------------------------------------------------------------
+
+TEST(AesCtr, RoundTripIsIdentity) {
+  const Bytes key(16, 0x7e);
+  Aes128 aes{key};
+  std::array<std::uint8_t, 12> nonce{};
+  nonce[0] = 0x99;
+  const Bytes msg = str_bytes("counter mode round trip across blocks: 0123456789");
+  const Bytes ct = aes_ctr(aes, nonce, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(aes_ctr(aes, nonce, ct), msg);
+}
+
+TEST(AesCtr, InitialCounterOffsetsKeystream) {
+  const Bytes key(16, 0x31);
+  Aes128 aes{key};
+  std::array<std::uint8_t, 12> nonce{};
+  const Bytes msg(32, 0x00);  // keystream itself
+  const Bytes ks0 = aes_ctr(aes, nonce, msg, 0);
+  const Bytes ks1 = aes_ctr(aes, nonce, msg, 1);
+  // Block 1 of ks0 equals block 0 of ks1.
+  EXPECT_TRUE(std::equal(ks0.begin() + 16, ks0.end(), ks1.begin(), ks1.begin() + 16));
+}
+
+// ---------------------------------------------------------------------------
+// AES-CMAC (RFC 4493)
+// ---------------------------------------------------------------------------
+
+TEST(AesCmac, Rfc4493EmptyMessage) {
+  Aes128 aes{*from_hex("2b7e151628aed2a6abf7158809cf4f3c")};
+  EXPECT_EQ(digest_hex(aes_cmac(aes, {})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(AesCmac, Rfc4493SingleBlock) {
+  Aes128 aes{*from_hex("2b7e151628aed2a6abf7158809cf4f3c")};
+  const auto msg = *from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(digest_hex(aes_cmac(aes, msg)), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(AesCmac, Rfc4493FortyBytes) {
+  Aes128 aes{*from_hex("2b7e151628aed2a6abf7158809cf4f3c")};
+  const auto msg = *from_hex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
+  EXPECT_EQ(digest_hex(aes_cmac(aes, msg)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(AesCmac, Rfc4493FourBlocks) {
+  Aes128 aes{*from_hex("2b7e151628aed2a6abf7158809cf4f3c")};
+  const auto msg = *from_hex(
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(digest_hex(aes_cmac(aes, msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+// ---------------------------------------------------------------------------
+// AES Key Wrap (RFC 3394)
+// ---------------------------------------------------------------------------
+
+TEST(AesKeyWrap, Rfc3394Vector) {
+  Aes128 kek{*from_hex("000102030405060708090a0b0c0d0e0f")};
+  const auto key_data = *from_hex("00112233445566778899aabbccddeeff");
+  const Bytes wrapped = aes_key_wrap(kek, key_data);
+  EXPECT_EQ(to_hex(wrapped), "1fa68b0a8112b447aef34bd8fb5a7b829d3e862371d2cfe5");
+  const auto unwrapped = aes_key_unwrap(kek, wrapped);
+  ASSERT_TRUE(unwrapped.has_value());
+  EXPECT_EQ(*unwrapped, key_data);
+}
+
+TEST(AesKeyWrap, UnwrapDetectsTampering) {
+  Aes128 kek{*from_hex("000102030405060708090a0b0c0d0e0f")};
+  Bytes wrapped = aes_key_wrap(kek, Bytes(24, 0x5a));
+  wrapped[3] ^= 0x01;
+  EXPECT_FALSE(aes_key_unwrap(kek, wrapped).has_value());
+}
+
+TEST(AesKeyWrap, UnwrapRejectsWrongKey) {
+  Aes128 kek{*from_hex("000102030405060708090a0b0c0d0e0f")};
+  Aes128 other{*from_hex("ffeeddccbbaa99887766554433221100")};
+  const Bytes wrapped = aes_key_wrap(kek, Bytes(16, 0x77));
+  EXPECT_FALSE(aes_key_unwrap(other, wrapped).has_value());
+}
+
+TEST(AesKeyWrap, RejectsBadLength) {
+  Aes128 kek{*from_hex("000102030405060708090a0b0c0d0e0f")};
+  EXPECT_THROW(aes_key_wrap(kek, Bytes(12, 0)), std::invalid_argument);
+  EXPECT_FALSE(aes_key_unwrap(kek, Bytes(20, 0)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// AEAD
+// ---------------------------------------------------------------------------
+
+class AeadRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AeadRoundTrip, SealOpenIdentity) {
+  const Bytes key(16, 0xa5);
+  Aead aead{key};
+  Aead::Nonce nonce{};
+  nonce[0] = 7;
+  Rng rng{GetParam() + 1};
+  Bytes msg(GetParam());
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+  const Bytes ad = str_bytes("header");
+
+  const Bytes sealed = aead.seal(nonce, ad, msg);
+  EXPECT_EQ(sealed.size(), msg.size() + Aead::kTagSize);
+  const auto opened = aead.open(nonce, ad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 64, 227, 1000));
+
+TEST(Aead, TamperedCiphertextRejected) {
+  const Bytes key(16, 0x11);
+  Aead aead{key};
+  Aead::Nonce nonce{};
+  Bytes sealed = aead.seal(nonce, {}, str_bytes("attack at dawn"));
+  sealed[2] ^= 0x80;
+  EXPECT_FALSE(aead.open(nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, TamperedTagRejected) {
+  const Bytes key(16, 0x11);
+  Aead aead{key};
+  Aead::Nonce nonce{};
+  Bytes sealed = aead.seal(nonce, {}, str_bytes("attack at dawn"));
+  sealed.back() ^= 0x01;
+  EXPECT_FALSE(aead.open(nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, WrongAssociatedDataRejected) {
+  const Bytes key(16, 0x11);
+  Aead aead{key};
+  Aead::Nonce nonce{};
+  const Bytes sealed = aead.seal(nonce, str_bytes("ad-1"), str_bytes("payload"));
+  EXPECT_FALSE(aead.open(nonce, str_bytes("ad-2"), sealed).has_value());
+}
+
+TEST(Aead, WrongNonceRejected) {
+  const Bytes key(16, 0x11);
+  Aead aead{key};
+  Aead::Nonce n1{}, n2{};
+  n2[11] = 1;
+  const Bytes sealed = aead.seal(n1, {}, str_bytes("payload"));
+  EXPECT_FALSE(aead.open(n2, {}, sealed).has_value());
+}
+
+TEST(Aead, WrongKeyRejected) {
+  Aead a{Bytes(16, 0x11)};
+  Aead b{Bytes(16, 0x22)};
+  Aead::Nonce nonce{};
+  const Bytes sealed = a.seal(nonce, {}, str_bytes("payload"));
+  EXPECT_FALSE(b.open(nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, TooShortInputRejected) {
+  Aead aead{Bytes(16, 0x33)};
+  Aead::Nonce nonce{};
+  EXPECT_FALSE(aead.open(nonce, {}, Bytes(Aead::kTagSize - 1, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace wile::crypto

@@ -1,0 +1,159 @@
+// Integration tests for the Wi-LE -> infrastructure gateway: Wi-LE
+// sensors on one side, a real WPA2 association + UDP uplink on the other.
+#include <gtest/gtest.h>
+
+#include "ap/access_point.hpp"
+#include "wile/gateway.hpp"
+#include "wile/sender.hpp"
+
+namespace wile::core {
+namespace {
+
+TEST(ForwardedReading, RoundTrip) {
+  ForwardedReading r;
+  r.device_id = 0xAABB;
+  r.sequence = 17;
+  r.type = MessageType::Telemetry;
+  r.rssi_dbm = -55;
+  r.data = {1, 2, 3};
+  const auto back = ForwardedReading::decode(r.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+}
+
+TEST(ForwardedReading, RejectsLengthMismatch) {
+  ForwardedReading r;
+  r.data = {1, 2, 3};
+  Bytes raw = r.encode();
+  raw.pop_back();
+  EXPECT_FALSE(ForwardedReading::decode(raw).has_value());
+  EXPECT_FALSE(ForwardedReading::decode(Bytes{1, 2}).has_value());
+}
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ap::AccessPointConfig ap_cfg;
+    ap_ = std::make_unique<ap::AccessPoint>(scheduler_, medium_, sim::Position{0, 0},
+                                            ap_cfg, Rng{10});
+    ap_->set_uplink_handler([this](const MacAddress&, const net::Ipv4Header&,
+                                   const net::UdpDatagram& udp) {
+      if (auto reading = ForwardedReading::decode(udp.payload)) {
+        server_received_.push_back(*reading);
+      }
+    });
+    ap_->start();
+
+    GatewayConfig gw_cfg;
+    gw_cfg.station.mac = MacAddress::from_seed(0x6A7E);
+    gateway_ = std::make_unique<Gateway>(scheduler_, medium_, sim::Position{3, 0}, gw_cfg,
+                                         Rng{20});
+  }
+
+  bool start_gateway() {
+    bool ready = false;
+    gateway_->start([&](bool ok) { ready = ok; });
+    scheduler_.run_until(scheduler_.now() + seconds(10));
+    return ready;
+  }
+
+  sim::Scheduler scheduler_;
+  sim::Medium medium_{scheduler_, phy::Channel{}, Rng{1}};
+  std::unique_ptr<ap::AccessPoint> ap_;
+  std::unique_ptr<Gateway> gateway_;
+  std::vector<ForwardedReading> server_received_;
+};
+
+TEST_F(GatewayTest, BridgesWiLeMessageToServer) {
+  ASSERT_TRUE(start_gateway());
+
+  SenderConfig sensor_cfg;
+  sensor_cfg.device_id = 0x501;
+  Sender sensor{scheduler_, medium_, {5, 0}, sensor_cfg, Rng{30}};
+  sensor.send_now(Bytes{'1', '7', 'C'}, {});
+  scheduler_.run_until(scheduler_.now() + seconds(5));
+
+  ASSERT_EQ(server_received_.size(), 1u);
+  EXPECT_EQ(server_received_[0].device_id, 0x501u);
+  EXPECT_EQ(server_received_[0].data, (Bytes{'1', '7', 'C'}));
+  EXPECT_LT(server_received_[0].rssi_dbm, 0);
+  EXPECT_EQ(gateway_->stats().forwarded, 1u);
+}
+
+TEST_F(GatewayTest, QueuesBurstsAndDrainsInOrder) {
+  ASSERT_TRUE(start_gateway());
+
+  // Three sensors fire nearly simultaneously; the PS uplink (~155 ms per
+  // send) forces queueing.
+  std::vector<std::unique_ptr<Sender>> sensors;
+  for (int i = 0; i < 3; ++i) {
+    SenderConfig cfg;
+    cfg.device_id = 0x600 + i;
+    sensors.push_back(std::make_unique<Sender>(scheduler_, medium_,
+                                               sim::Position{5.0 + i, 0}, cfg,
+                                               Rng{40 + i}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    scheduler_.schedule_in(msec(i * 5), [&, i] {
+      sensors[i]->send_now(Bytes{static_cast<std::uint8_t>(i)}, {});
+    });
+  }
+  scheduler_.run_until(scheduler_.now() + seconds(10));
+
+  ASSERT_EQ(server_received_.size(), 3u);
+  EXPECT_EQ(gateway_->stats().forwarded, 3u);
+  EXPECT_EQ(gateway_->stats().dropped_queue_full, 0u);
+  std::vector<std::uint32_t> ids;
+  for (const auto& r : server_received_) ids.push_back(r.device_id);
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{0x600, 0x601, 0x602}));
+}
+
+TEST_F(GatewayTest, QueueOverflowDropsOldest) {
+  GatewayConfig tiny_cfg;
+  tiny_cfg.station.mac = MacAddress::from_seed(0x6B7E);
+  tiny_cfg.max_queue = 2;
+  Gateway tiny{scheduler_, medium_, {3, 1}, tiny_cfg, Rng{50}};
+  // Never started: the uplink stays down, so everything queues.
+  SenderConfig cfg;
+  cfg.device_id = 0x700;
+  Sender sensor{scheduler_, medium_, {5, 1}, cfg, Rng{60}};
+  for (int i = 0; i < 4; ++i) {
+    sensor.send_now(Bytes{static_cast<std::uint8_t>(i)}, {});
+    scheduler_.run_until(scheduler_.now() + seconds(1));
+  }
+  EXPECT_EQ(tiny.stats().received, 4u);
+  EXPECT_EQ(tiny.stats().dropped_queue_full, 2u);
+  EXPECT_EQ(tiny.stats().forwarded, 0u);
+}
+
+TEST_F(GatewayTest, EncryptedSensorsNeedMatchingMonitorKey) {
+  GatewayConfig keyed_cfg;
+  keyed_cfg.station.mac = MacAddress::from_seed(0x6C7E);
+  keyed_cfg.monitor.key = Bytes(16, 0x77);
+  Gateway keyed{scheduler_, medium_, {3, 2}, keyed_cfg, Rng{70}};
+  bool ready = false;
+  keyed.start([&](bool ok) { ready = ok; });
+  scheduler_.run_until(scheduler_.now() + seconds(10));
+  ASSERT_TRUE(ready);
+
+  SenderConfig good;
+  good.device_id = 1;
+  good.key = Bytes(16, 0x77);
+  SenderConfig bad;
+  bad.device_id = 2;
+  bad.key = Bytes(16, 0x78);
+  Sender s_good{scheduler_, medium_, {5, 2}, good, Rng{71}};
+  Sender s_bad{scheduler_, medium_, {6, 2}, bad, Rng{72}};
+  s_good.send_now(Bytes{1}, {});
+  scheduler_.run_until(scheduler_.now() + seconds(2));
+  s_bad.send_now(Bytes{2}, {});
+  scheduler_.run_until(scheduler_.now() + seconds(5));
+
+  EXPECT_EQ(keyed.stats().received, 1u);   // only the matching key decodes
+  EXPECT_EQ(keyed.stats().forwarded, 1u);
+  ASSERT_EQ(server_received_.size(), 1u);
+  EXPECT_EQ(server_received_[0].device_id, 1u);
+}
+
+}  // namespace
+}  // namespace wile::core

@@ -1,0 +1,237 @@
+// Integration tests: the BLE baseline — link-layer codec plus the
+// master/slave connection-event exchange and its CC2541 energy model
+// (paper §5.3 "Bluetooth Low Energy (BLE)" scenario).
+#include <gtest/gtest.h>
+
+#include "ble/link.hpp"
+#include "ble/pdu.hpp"
+
+namespace wile::ble {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PDU codec
+// ---------------------------------------------------------------------------
+
+TEST(BlePdu, AdvertisingRoundTrip) {
+  AdvertisingPdu pdu;
+  pdu.type = AdvPduType::AdvNonconnInd;
+  pdu.advertiser = MacAddress::from_seed(5);
+  pdu.adv_data = {0x02, 0x01, 0x06};  // flags AD structure
+  const auto back = AdvertisingPdu::decode(pdu.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, AdvPduType::AdvNonconnInd);
+  EXPECT_EQ(back->advertiser, pdu.advertiser);
+  EXPECT_EQ(back->adv_data, pdu.adv_data);
+}
+
+TEST(BlePdu, AdvertisingRejectsOversizedData) {
+  AdvertisingPdu pdu;
+  pdu.adv_data.resize(32);
+  EXPECT_THROW(pdu.encode(), std::invalid_argument);
+}
+
+TEST(BlePdu, DataPduRoundTrip) {
+  DataPdu pdu;
+  pdu.llid = DataPdu::Llid::Start;
+  pdu.sn = true;
+  pdu.nesn = false;
+  pdu.more_data = true;
+  pdu.payload = {1, 2, 3};
+  const auto back = DataPdu::decode(pdu.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->llid, DataPdu::Llid::Start);
+  EXPECT_TRUE(back->sn);
+  EXPECT_FALSE(back->nesn);
+  EXPECT_TRUE(back->more_data);
+  EXPECT_EQ(back->payload, (Bytes{1, 2, 3}));
+}
+
+TEST(BlePdu, WhiteningIsSelfInverse) {
+  Bytes data = {0x00, 0xff, 0x55, 0xaa, 0x13, 0x37};
+  const Bytes original = data;
+  whiten(37, data.data(), data.size());
+  EXPECT_NE(data, original);  // whitening actually does something
+  whiten(37, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(BlePdu, WhiteningDependsOnChannel) {
+  Bytes a = {1, 2, 3, 4};
+  Bytes b = a;
+  whiten(37, a.data(), a.size());
+  whiten(38, b.data(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(BlePdu, AirPacketRoundTripWithCrc) {
+  DataPdu pdu;
+  pdu.payload = {9, 8, 7};
+  const Bytes air = assemble_air_packet(0x50123456, pdu.encode(), 11, 0x0BAD5E);
+  const auto back = parse_air_packet(air, 11, 0x0BAD5E);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->crc_ok);
+  EXPECT_EQ(back->access_address, 0x50123456u);
+  const auto pdu_back = DataPdu::decode(back->pdu);
+  ASSERT_TRUE(pdu_back.has_value());
+  EXPECT_EQ(pdu_back->payload, (Bytes{9, 8, 7}));
+}
+
+TEST(BlePdu, AirPacketCorruptionCaughtByCrc) {
+  DataPdu pdu;
+  pdu.payload = {9, 8, 7};
+  Bytes air = assemble_air_packet(0x50123456, pdu.encode(), 11);
+  air[7] ^= 0x40;
+  const auto back = parse_air_packet(air, 11);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->crc_ok);
+}
+
+TEST(BlePdu, WrongChannelWhiteningBreaksCrc) {
+  DataPdu pdu;
+  pdu.payload = {1, 2};
+  const Bytes air = assemble_air_packet(0x50123456, pdu.encode(), 11);
+  const auto back = parse_air_packet(air, 12);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->crc_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Connection events
+// ---------------------------------------------------------------------------
+
+class BleLink : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.connection_interval = seconds(1);
+    master_ = std::make_unique<BleMaster>(scheduler_, medium_, sim::Position{0, 0}, config_);
+    slave_ = std::make_unique<BleSlave>(scheduler_, medium_, sim::Position{2, 0}, config_);
+  }
+
+  void start_both() {
+    master_->start();
+    slave_->start();
+  }
+
+  sim::Scheduler scheduler_;
+  sim::Medium medium_{scheduler_, phy::Channel{}, Rng{1}};
+  BleLinkConfig config_;
+  std::unique_ptr<BleMaster> master_;
+  std::unique_ptr<BleSlave> slave_;
+};
+
+TEST_F(BleLink, SlaveDataReachesMaster) {
+  slave_->queue_payload(Bytes{'t', 'e', 'm', 'p'});
+  start_both();
+  scheduler_.run_until(TimePoint{seconds(2)});
+
+  ASSERT_EQ(master_->received_payloads().size(), 1u);
+  EXPECT_EQ(master_->received_payloads()[0], (Bytes{'t', 'e', 'm', 'p'}));
+  EXPECT_EQ(slave_->polls_missed(), 0u);
+}
+
+TEST_F(BleLink, PeriodicEventsDeliverQueuedPayloads) {
+  start_both();
+  for (int i = 0; i < 10; ++i) slave_->queue_payload(Bytes{static_cast<std::uint8_t>(i)});
+  scheduler_.run_until(TimePoint{seconds(11)});
+
+  ASSERT_EQ(master_->received_payloads().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(master_->received_payloads()[i][0], i);
+  }
+  EXPECT_GE(slave_->events_attended(), 10u);
+}
+
+TEST_F(BleLink, EventEnergyMatchesTable1) {
+  // Table 1: BLE 71 uJ per message (CC2541, TI SWRA347a phases).
+  std::vector<BleEventReport> reports;
+  slave_->set_event_callback([&](const BleEventReport& r) { reports.push_back(r); });
+  for (int i = 0; i < 5; ++i) slave_->queue_payload(Bytes(20, 0x11));
+  start_both();
+  scheduler_.run_until(TimePoint{seconds(6)});
+
+  ASSERT_GE(reports.size(), 5u);
+  for (const auto& r : reports) {
+    if (!r.data_sent) continue;
+    const double uj = in_microjoules(r.energy);
+    EXPECT_GT(uj, 60.0);
+    EXPECT_LT(uj, 85.0);
+    // TI report: a connection event is a few milliseconds.
+    EXPECT_LT(to_seconds(r.active_time), 0.01);
+  }
+}
+
+TEST_F(BleLink, IdleCurrentIsSleepCurrent) {
+  start_both();
+  scheduler_.run_until(TimePoint{seconds(10)});
+  // Average over a window between events: pick the middle of an interval.
+  const TimePoint from = scheduler_.now() + msec(200);
+  const TimePoint to = from + msec(500);
+  scheduler_.run_until(to);
+  const Watts avg = slave_->timeline().average_power(from, to);
+  const double ua = in_microamps(avg / volts(3.0));
+  EXPECT_NEAR(ua, 1.1, 0.2);
+}
+
+TEST_F(BleLink, EmptyQueueSendsEmptyPdu) {
+  std::vector<BleEventReport> reports;
+  slave_->set_event_callback([&](const BleEventReport& r) { reports.push_back(r); });
+  start_both();
+  scheduler_.run_until(TimePoint{seconds(3)});
+
+  ASSERT_GE(reports.size(), 2u);
+  for (const auto& r : reports) EXPECT_FALSE(r.data_sent);
+  EXPECT_TRUE(master_->received_payloads().empty());
+  EXPECT_EQ(slave_->polls_missed(), 0u);
+}
+
+TEST_F(BleLink, SlaveSleepsThroughMissingMaster) {
+  // Master never starts: the slave's RX windows time out and it returns
+  // to sleep each time.
+  slave_->queue_payload(Bytes{1});
+  slave_->start();
+  scheduler_.run_until(TimePoint{seconds(5)});
+  EXPECT_GE(slave_->polls_missed(), 4u);
+  EXPECT_TRUE(master_->received_payloads().empty());
+}
+
+TEST_F(BleLink, RejectsOversizedPayload) {
+  EXPECT_THROW(slave_->queue_payload(Bytes(28, 0)), std::invalid_argument);
+}
+
+TEST_F(BleLink, SlaveLatencySkipsEmptyEvents) {
+  BleLinkConfig cfg;
+  cfg.connection_interval = seconds(1);
+  cfg.slave_latency = 3;
+  BleMaster master{scheduler_, medium_, {0, 1}, cfg};
+  BleSlave slave{scheduler_, medium_, {2, 1}, cfg};
+  master.start();
+  slave.start();
+  scheduler_.run_until(TimePoint{seconds(12) + msec(500)});
+
+  // With nothing to send, the slave attends only every 4th event.
+  EXPECT_GE(slave.events_skipped(), 8u);
+  EXPECT_LE(slave.events_attended(), 4u);
+  EXPECT_GT(slave.events_attended(), 1u);
+}
+
+TEST_F(BleLink, SlaveLatencyStillDeliversQueuedData) {
+  BleLinkConfig cfg;
+  cfg.connection_interval = seconds(1);
+  cfg.slave_latency = 5;
+  BleMaster master{scheduler_, medium_, {0, 1}, cfg};
+  BleSlave slave{scheduler_, medium_, {2, 1}, cfg};
+  master.start();
+  slave.start();
+  // Queue a payload mid-stream: the slave must attend the next event
+  // instead of sleeping through its latency budget.
+  scheduler_.schedule_at(TimePoint{seconds(4) + msec(500)},
+                         [&] { slave.queue_payload(Bytes{'h', 'i'}); });
+  scheduler_.run_until(TimePoint{seconds(7)});
+
+  ASSERT_EQ(master.received_payloads().size(), 1u);
+  EXPECT_EQ(master.received_payloads()[0], (Bytes{'h', 'i'}));
+}
+
+}  // namespace
+}  // namespace wile::ble

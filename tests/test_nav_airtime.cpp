@@ -1,0 +1,187 @@
+// Tests for NAV-based virtual carrier sense and the airtime monitor.
+#include <gtest/gtest.h>
+
+#include "dot11/frame.hpp"
+#include "sim/airtime_monitor.hpp"
+#include "sim/csma.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/traffic.hpp"
+
+namespace wile::sim {
+namespace {
+
+TEST(WithDuration, PatchesFieldAndKeepsFcsValid) {
+  const Bytes original = dot11::build_mgmt_mpdu(
+      dot11::MgmtSubtype::Beacon, MacAddress::broadcast(), MacAddress::from_seed(1),
+      MacAddress::from_seed(1), 7, Bytes{1, 2, 3});
+  const Bytes patched = dot11::with_duration(original, 44);
+
+  const auto parsed = dot11::parse_mpdu(patched);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);  // FCS recomputed over the patched bytes
+  EXPECT_EQ(parsed->header.duration_id, 44);
+  // Everything else untouched.
+  EXPECT_EQ(parsed->header.sequence_number(), 7);
+  EXPECT_EQ(parsed->body.size(), 3u);
+}
+
+TEST(Nav, ObserveExtendsOnlyForward) {
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  struct Dummy : MediumClient {
+    void on_frame(const RxFrame&) override {}
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+  } dummy;
+  const NodeId id = medium.attach(&dummy, {0, 0});
+  Csma csma{scheduler, medium, id, Rng{2}};
+
+  csma.observe_nav(100);
+  EXPECT_EQ(csma.nav_until().us(), 100);
+  csma.observe_nav(50);  // shorter reservation must not shrink the NAV
+  EXPECT_EQ(csma.nav_until().us(), 100);
+  csma.observe_nav(0x8000 | 7);  // AID encoding: ignored
+  EXPECT_EQ(csma.nav_until().us(), 100);
+  csma.observe_nav(200);
+  EXPECT_EQ(csma.nav_until().us(), 200);
+}
+
+TEST(Nav, DefersTransmissionUntilNavExpiry) {
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  struct Recorder : MediumClient {
+    void on_frame(const RxFrame& frame) override { arrivals.push_back(frame); }
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+    std::vector<RxFrame> arrivals;
+  } rx;
+  struct Dummy : MediumClient {
+    void on_frame(const RxFrame&) override {}
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+  } dummy;
+  const NodeId tx = medium.attach(&dummy, {0, 0});
+  medium.attach(&rx, {2, 0});
+  Csma csma{scheduler, medium, tx, Rng{2}};
+
+  // A 5 ms NAV reservation: even though the physical channel is idle,
+  // the MAC must hold off.
+  csma.observe_nav(5000);
+  csma.send(Bytes(50, 1), phy::WifiRate::G6, false, {});
+  scheduler.run_until_idle();
+
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  // TX cannot have started before NAV expiry + DIFS.
+  EXPECT_GE(scheduler.now().us(), 5000 + phy::MacTiming::kDifs.count());
+}
+
+TEST(Nav, UnicastDataCarriesSifsPlusAckReservation) {
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  struct Recorder : MediumClient {
+    void on_frame(const RxFrame& frame) override {
+      if (auto parsed = dot11::parse_mpdu(frame.mpdu)) durations.push_back(
+          parsed->header.duration_id);
+    }
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+    std::vector<std::uint16_t> durations;
+  } rx;
+  struct Dummy : MediumClient {
+    void on_frame(const RxFrame&) override {}
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+  } dummy;
+  const NodeId tx = medium.attach(&dummy, {0, 0});
+  medium.attach(&rx, {2, 0});
+  Csma csma{scheduler, medium, tx, Rng{2}};
+
+  // Unicast (expects ACK): duration = SIFS + ACK = 10 + 34 = 44 us.
+  csma.send(dot11::build_data_to_ds(MacAddress::from_seed(1), MacAddress::from_seed(2),
+                                    MacAddress::from_seed(1), 1, Bytes{1}, false),
+            phy::WifiRate::G6, /*expect_ack=*/true, {});
+  scheduler.run_until(TimePoint{msec(50)});
+  // Broadcast: duration 0.
+  csma.send(dot11::build_mgmt_mpdu(dot11::MgmtSubtype::Beacon, MacAddress::broadcast(),
+                                   MacAddress::from_seed(2), MacAddress::from_seed(2), 2,
+                                   Bytes{}),
+            phy::WifiRate::G6, /*expect_ack=*/false, {});
+  scheduler.run_until(TimePoint{seconds(2)});
+
+  // The unacknowledged unicast retries (retry limit + 1 copies), all
+  // carrying the SIFS+ACK reservation; the final broadcast carries none.
+  ASSERT_GE(rx.durations.size(), 2u);
+  for (std::size_t i = 0; i + 1 < rx.durations.size(); ++i) {
+    EXPECT_EQ(rx.durations[i], 44);
+  }
+  EXPECT_EQ(rx.durations.back(), 0);
+}
+
+TEST(AirtimeMonitorTest, MeasuresOccupiedFraction) {
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  AirtimeMonitor monitor{scheduler, medium, {1, 0}};
+  struct Dummy : MediumClient {
+    void on_frame(const RxFrame&) override {}
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+  } dummy;
+  const NodeId tx = medium.attach(&dummy, {0, 0});
+
+  // One 10 ms transmission in a 100 ms window = 10% busy.
+  TxRequest req;
+  req.mpdu = Bytes(100, 1);
+  req.airtime = msec(10);
+  medium.transmit(tx, std::move(req));
+  scheduler.run_until(TimePoint{msec(100)});
+
+  EXPECT_NEAR(monitor.busy_fraction(), 0.10, 0.001);
+  EXPECT_EQ(monitor.frames_heard(), 1u);
+}
+
+TEST(AirtimeMonitorTest, CountsCorruptFramesAsBusy) {
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  AirtimeMonitor monitor{scheduler, medium, {0.5, 1}};
+  struct Dummy : MediumClient {
+    void on_frame(const RxFrame&) override {}
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+  } a, b;
+  const NodeId ta = medium.attach(&a, {0, 0});
+  const NodeId tb = medium.attach(&b, {1, 0});
+
+  // Two overlapping 10 ms transmissions: both corrupt at the monitor,
+  // both counted as channel occupancy.
+  TxRequest ra;
+  ra.mpdu = Bytes(100, 1);
+  ra.airtime = msec(10);
+  medium.transmit(ta, std::move(ra));
+  scheduler.schedule_in(msec(5), [&] {
+    TxRequest rb;
+    rb.mpdu = Bytes(100, 2);
+    rb.airtime = msec(10);
+    medium.transmit(tb, std::move(rb));
+  });
+  scheduler.run_until(TimePoint{msec(100)});
+
+  EXPECT_EQ(monitor.frames_heard(), 2u);
+  EXPECT_NEAR(monitor.busy_fraction(), 0.20, 0.01);
+}
+
+TEST(AirtimeMonitorTest, ResetClearsAccounting) {
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  AirtimeMonitor monitor{scheduler, medium, {1, 0}};
+  struct Dummy : MediumClient {
+    void on_frame(const RxFrame&) override {}
+    [[nodiscard]] bool rx_enabled() const override { return true; }
+  } dummy;
+  const NodeId tx = medium.attach(&dummy, {0, 0});
+  TxRequest req;
+  req.mpdu = Bytes{1};
+  req.airtime = msec(5);
+  medium.transmit(tx, std::move(req));
+  scheduler.run_until(TimePoint{msec(20)});
+  monitor.reset();
+  scheduler.run_until(TimePoint{msec(40)});
+  EXPECT_EQ(monitor.frames_heard(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.busy_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace wile::sim

@@ -1,0 +1,262 @@
+// Unit tests for src/net: LLC/SNAP, ARP, IPv4, UDP, DHCP.
+#include <gtest/gtest.h>
+
+#include "net/arp.hpp"
+#include "net/dhcp.hpp"
+#include "net/ipv4.hpp"
+#include "net/llc.hpp"
+#include "net/udp.hpp"
+
+namespace wile::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LLC/SNAP
+// ---------------------------------------------------------------------------
+
+TEST(Llc, WrapDecodeRoundTrip) {
+  const Bytes payload = {0xde, 0xad};
+  const Bytes wrapped = llc_wrap(EtherType::Eapol, payload);
+  EXPECT_EQ(wrapped.size(), LlcSnap::kHeaderSize + payload.size());
+  const auto back = LlcSnap::decode(wrapped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ethertype, EtherType::Eapol);
+  EXPECT_EQ(back->payload, payload);
+}
+
+TEST(Llc, RejectsNonSnapHeader) {
+  Bytes bad = llc_wrap(EtherType::Ipv4, Bytes{1});
+  bad[0] = 0x00;
+  EXPECT_FALSE(LlcSnap::decode(bad).has_value());
+  EXPECT_FALSE(LlcSnap::decode(Bytes{0xaa, 0xaa}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Ipv4Address
+// ---------------------------------------------------------------------------
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto ip = Ipv4Address::parse("192.168.86.1");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.168.86.1");
+  EXPECT_EQ(ip->value(), 0xc0a85601u);
+}
+
+TEST(Ipv4Address, ParseRejectsBadInput) {
+  EXPECT_FALSE(Ipv4Address::parse("192.168.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("192.168.1.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4Address, Constants) {
+  EXPECT_TRUE(Ipv4Address::any().is_any());
+  EXPECT_EQ(Ipv4Address::broadcast().to_string(), "255.255.255.255");
+}
+
+// ---------------------------------------------------------------------------
+// Inet checksum + IPv4 header
+// ---------------------------------------------------------------------------
+
+TEST(InetChecksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(inet_checksum(data), 0x220d);
+}
+
+TEST(InetChecksum, ValidatesToZero) {
+  Ipv4Header h;
+  h.source = *Ipv4Address::parse("10.0.0.1");
+  h.destination = *Ipv4Address::parse("10.0.0.2");
+  const Bytes packet = h.encode(Bytes{1, 2, 3});
+  EXPECT_EQ(inet_checksum(BytesView{packet.data(), Ipv4Header::kSize}), 0);
+}
+
+TEST(Ipv4, EncodeDecodeRoundTrip) {
+  Ipv4Header h;
+  h.ttl = 32;
+  h.identification = 99;
+  h.protocol = IpProto::Udp;
+  h.source = *Ipv4Address::parse("192.168.86.20");
+  h.destination = *Ipv4Address::parse("192.168.86.2");
+  const Bytes payload = {9, 8, 7, 6};
+  const Bytes packet = h.encode(payload);
+
+  const auto parsed = Ipv4Header::decode(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_EQ(parsed->header.source, h.source);
+  EXPECT_EQ(parsed->header.destination, h.destination);
+  EXPECT_EQ(parsed->header.ttl, 32);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Ipv4, CorruptionDetected) {
+  Ipv4Header h;
+  h.source = *Ipv4Address::parse("10.0.0.1");
+  h.destination = *Ipv4Address::parse("10.0.0.2");
+  Bytes packet = h.encode(Bytes{});
+  packet[8] ^= 0x01;  // ttl
+  const auto parsed = Ipv4Header::decode(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->checksum_ok);
+}
+
+TEST(Ipv4, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Header::decode(Bytes(10, 0)).has_value());
+  Bytes not_v4(20, 0);
+  not_v4[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::decode(not_v4).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+TEST(Udp, EncodeDecodeRoundTripWithChecksum) {
+  const auto src = *Ipv4Address::parse("192.168.86.20");
+  const auto dst = *Ipv4Address::parse("192.168.86.2");
+  UdpDatagram d;
+  d.source_port = 40000;
+  d.dest_port = 9000;
+  d.payload = {1, 2, 3, 4, 5};
+  const Bytes segment = d.encode(src, dst);
+
+  const auto parsed = UdpDatagram::decode(segment, src, dst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_ok);
+  EXPECT_EQ(parsed->datagram.source_port, 40000);
+  EXPECT_EQ(parsed->datagram.dest_port, 9000);
+  EXPECT_EQ(parsed->datagram.payload, d.payload);
+}
+
+TEST(Udp, ChecksumBindsPseudoHeader) {
+  const auto src = *Ipv4Address::parse("192.168.86.20");
+  const auto dst = *Ipv4Address::parse("192.168.86.2");
+  const auto other = *Ipv4Address::parse("192.168.86.3");
+  UdpDatagram d;
+  d.payload = {1};
+  const Bytes segment = d.encode(src, dst);
+  const auto parsed = UdpDatagram::decode(segment, src, other);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->checksum_ok);
+}
+
+TEST(Udp, FullPacketHelper) {
+  const auto src = *Ipv4Address::parse("0.0.0.0");
+  const Bytes packet = udp_packet(src, 68, Ipv4Address::broadcast(), 67, Bytes{0xaa});
+  const auto ip = Ipv4Header::decode(packet);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ip->checksum_ok);
+  EXPECT_EQ(ip->header.protocol, IpProto::Udp);
+  const auto udp = UdpDatagram::decode(ip->payload, ip->header.source,
+                                       ip->header.destination);
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_TRUE(udp->checksum_ok);
+  EXPECT_EQ(udp->datagram.dest_port, 67);
+}
+
+// ---------------------------------------------------------------------------
+// DHCP
+// ---------------------------------------------------------------------------
+
+TEST(Dhcp, DiscoverRoundTrip) {
+  const MacAddress client = MacAddress::from_seed(5);
+  const auto d = DhcpMessage::discover(0xdeadbeef, client);
+  const auto back = DhcpMessage::decode(d.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, DhcpMessageType::Discover);
+  EXPECT_EQ(back->xid, 0xdeadbeefu);
+  EXPECT_EQ(back->chaddr, client);
+  EXPECT_TRUE(back->broadcast_flag);
+}
+
+TEST(Dhcp, FullExchangeCarriesAddressing) {
+  const MacAddress client = MacAddress::from_seed(5);
+  const auto server_ip = *Ipv4Address::parse("192.168.86.1");
+  const auto offered = *Ipv4Address::parse("192.168.86.20");
+
+  const auto discover = DhcpMessage::discover(7, client);
+  const auto offer = DhcpMessage::offer(discover, offered, server_ip, 86'400);
+  EXPECT_EQ(offer.yiaddr, offered);
+  EXPECT_EQ(offer.xid, 7u);
+  EXPECT_EQ(offer.ip_option(DhcpOption::kServerId), server_ip);
+  EXPECT_EQ(offer.ip_option(DhcpOption::kRouter), server_ip);
+
+  const auto request = DhcpMessage::request(offer, client);
+  EXPECT_EQ(request.ip_option(DhcpOption::kRequestedIp), offered);
+  EXPECT_EQ(request.ip_option(DhcpOption::kServerId), server_ip);
+
+  const auto ack = DhcpMessage::ack(request, offered, server_ip, 86'400);
+  EXPECT_EQ(ack.type, DhcpMessageType::Ack);
+  EXPECT_EQ(ack.yiaddr, offered);
+
+  // Every message must survive the wire.
+  for (const auto& msg : {discover, offer, request, ack}) {
+    const auto back = DhcpMessage::decode(msg.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->type, msg.type);
+    EXPECT_EQ(back->xid, msg.xid);
+    EXPECT_EQ(back->yiaddr, msg.yiaddr);
+  }
+}
+
+TEST(Dhcp, DecodeRejectsBadMagicAndShortInput) {
+  const auto d = DhcpMessage::discover(1, MacAddress::from_seed(1));
+  Bytes raw = d.encode();
+  raw[236] ^= 0xff;  // magic cookie
+  EXPECT_FALSE(DhcpMessage::decode(raw).has_value());
+  EXPECT_FALSE(DhcpMessage::decode(Bytes(100, 0)).has_value());
+}
+
+TEST(Dhcp, LeaseTimeOptionEncoded) {
+  const auto discover = DhcpMessage::discover(1, MacAddress::from_seed(1));
+  const auto offer = DhcpMessage::offer(discover, *Ipv4Address::parse("10.0.0.9"),
+                                        *Ipv4Address::parse("10.0.0.1"), 3600);
+  const auto back = DhcpMessage::decode(offer.encode());
+  ASSERT_TRUE(back.has_value());
+  const DhcpOption* lease = back->find_option(DhcpOption::kLeaseTime);
+  ASSERT_NE(lease, nullptr);
+  ASSERT_EQ(lease->data.size(), 4u);
+  ByteReader r{lease->data};
+  EXPECT_EQ(r.u32be(), 3600u);
+}
+
+// ---------------------------------------------------------------------------
+// ARP
+// ---------------------------------------------------------------------------
+
+TEST(Arp, RequestReplyRoundTrip) {
+  const MacAddress sta = MacAddress::from_seed(1);
+  const MacAddress gw = MacAddress::from_seed(2);
+  const auto sta_ip = *Ipv4Address::parse("192.168.86.20");
+  const auto gw_ip = *Ipv4Address::parse("192.168.86.1");
+
+  const auto req = ArpPacket::request(sta, sta_ip, gw_ip);
+  const auto req_back = ArpPacket::decode(req.encode());
+  ASSERT_TRUE(req_back.has_value());
+  EXPECT_EQ(req_back->op, ArpPacket::Op::Request);
+  EXPECT_EQ(req_back->sender_mac, sta);
+  EXPECT_EQ(req_back->target_ip, gw_ip);
+  EXPECT_TRUE(req_back->target_mac.is_zero());
+
+  const auto reply = ArpPacket::reply(gw, gw_ip, sta, sta_ip);
+  const auto reply_back = ArpPacket::decode(reply.encode());
+  ASSERT_TRUE(reply_back.has_value());
+  EXPECT_EQ(reply_back->op, ArpPacket::Op::Reply);
+  EXPECT_EQ(reply_back->sender_mac, gw);
+  EXPECT_EQ(reply_back->target_mac, sta);
+}
+
+TEST(Arp, DecodeRejectsWrongTypes) {
+  auto req = ArpPacket::request(MacAddress::from_seed(1), Ipv4Address{10, 0, 0, 1},
+                                Ipv4Address{10, 0, 0, 2});
+  Bytes raw = req.encode();
+  raw[0] = 9;  // hardware type
+  EXPECT_FALSE(ArpPacket::decode(raw).has_value());
+  EXPECT_FALSE(ArpPacket::decode(Bytes(10, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace wile::net

@@ -1,0 +1,163 @@
+// Conformance suite: every *quantitative claim* in the paper, pinned as
+// a ctest assertion so regressions in the protocol stacks or power
+// models are caught immediately. The benches print these side by side;
+// this file makes them gates.
+#include <gtest/gtest.h>
+
+#include "ap/access_point.hpp"
+#include "ble/link.hpp"
+#include "phy/energy.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "sta/station.hpp"
+#include "wile/sender.hpp"
+
+namespace wile {
+namespace {
+
+// --- shared measurement helpers (the Table-1 pipeline) ----------------------
+
+double measure_wile_uj() {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  core::SenderConfig cfg;
+  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
+  double uj = 0;
+  sender.send_now(Bytes(16, 0x42),
+                  [&](const core::SendReport& r) { uj = in_microjoules(r.tx_only_energy); });
+  scheduler.run_until_idle();
+  return uj;
+}
+
+double measure_ble_uj() {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  ble::BleLinkConfig cfg;
+  ble::BleMaster master{scheduler, medium, {0, 0}, cfg};
+  ble::BleSlave slave{scheduler, medium, {2, 0}, cfg};
+  double uj = 0;
+  slave.set_event_callback([&](const ble::BleEventReport& r) {
+    if (r.data_sent && uj == 0) uj = in_microjoules(r.energy);
+  });
+  slave.queue_payload(Bytes(20, 0x42));
+  master.start();
+  slave.start();
+  scheduler.run_until(TimePoint{seconds(3)});
+  return uj;
+}
+
+struct WifiMeasurement {
+  double dc_mj = 0;
+  double ps_mj = 0;
+  double ps_idle_ua = 0;
+};
+
+WifiMeasurement measure_wifi() {
+  WifiMeasurement out;
+  {
+    sim::Scheduler scheduler;
+    sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+    ap::AccessPointConfig ap_cfg;
+    ap::AccessPoint ap{scheduler, medium, {0, 0}, ap_cfg, Rng{10}};
+    ap.start();
+    sta::StationConfig sta_cfg;
+    sta::Station sta{scheduler, medium, {3, 0}, sta_cfg, Rng{20}};
+    sta.run_duty_cycle_transmission(Bytes(16, 0x42), [&](const sta::CycleReport& r) {
+      out.dc_mj = in_millijoules(r.energy);
+    });
+    scheduler.run_until(TimePoint{seconds(10)});
+  }
+  {
+    sim::Scheduler scheduler;
+    sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+    ap::AccessPointConfig ap_cfg;
+    ap::AccessPoint ap{scheduler, medium, {0, 0}, ap_cfg, Rng{10}};
+    ap.start();
+    sta::StationConfig sta_cfg;
+    sta::Station sta{scheduler, medium, {3, 0}, sta_cfg, Rng{20}};
+    bool ready = false;
+    sta.connect_and_enter_power_save([&](bool ok) { ready = ok; });
+    scheduler.run_until(TimePoint{seconds(10)});
+    if (!ready) return out;
+    const TimePoint from = scheduler.now();
+    scheduler.run_until(from + minutes(1));
+    out.ps_idle_ua =
+        in_microamps(sta.timeline().average_power(from, scheduler.now()) / volts(3.3));
+    sta.power_save_send(Bytes(16, 0x42), [&](const sta::CycleReport& r) {
+      out.ps_mj = in_millijoules(r.energy);
+    });
+    scheduler.run_until(scheduler.now() + seconds(5));
+  }
+  return out;
+}
+
+// --- Table 1 ----------------------------------------------------------------
+
+TEST(PaperClaims, Table1WiLeEnergy84uJ) {
+  EXPECT_NEAR(measure_wile_uj(), 84.0, 84.0 * 0.05);
+}
+
+TEST(PaperClaims, Table1BleEnergy71uJ) {
+  EXPECT_NEAR(measure_ble_uj(), 71.0, 71.0 * 0.05);
+}
+
+TEST(PaperClaims, Table1WifiEnergies) {
+  const WifiMeasurement m = measure_wifi();
+  EXPECT_NEAR(m.dc_mj, 238.2, 238.2 * 0.05);
+  EXPECT_NEAR(m.ps_mj, 19.8, 19.8 * 0.07);
+  EXPECT_NEAR(m.ps_idle_ua, 4500.0, 4500.0 * 0.07);
+}
+
+TEST(PaperClaims, Section1EnergyPerBitRatios) {
+  // "Bluetooth ... 275-300 nJ/bit while with WiFi it is 10-100".
+  const double ble = in_nanojoules(phy::ble_effective_energy_per_bit());
+  EXPECT_GE(ble, 260.0);
+  EXPECT_LE(ble, 310.0);
+  const double wifi_hi = in_nanojoules(phy::wifi_energy_per_bit(phy::WifiRate::G6));
+  const double wifi_lo = in_nanojoules(phy::wifi_energy_per_bit(phy::WifiRate::Mcs7Sgi));
+  EXPECT_NEAR(wifi_hi, 100.0, 5.0);
+  EXPECT_LT(wifi_lo, 12.0);
+  // "nearly three times as much energy" at the comparable (low-rate) end.
+  EXPECT_NEAR(ble / wifi_hi, 3.0, 0.5);
+}
+
+TEST(PaperClaims, AbstractWiLeRivalsBle) {
+  // "power consumption similar to that of Bluetooth Low Energy":
+  // energy/message within 1.5x at equal payloads + idle currents within
+  // ~2.3x (2.5 vs 1.1 uA).
+  const double wile = measure_wile_uj();
+  const double ble = measure_ble_uj();
+  EXPECT_LT(wile / ble, 1.5);
+  EXPECT_GT(wile / ble, 0.7);
+}
+
+TEST(PaperClaims, Section52WiLeAwakeFractionOfWifi) {
+  // Fig. 3: the Wi-LE cycle is several times shorter than the WiFi one
+  // ("significantly reduces the total time and energy").
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  core::SenderConfig cfg;
+  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
+  Duration wile_active{};
+  sender.send_now(Bytes(16, 1),
+                  [&](const core::SendReport& r) { wile_active = r.active_time; });
+  scheduler.run_until_idle();
+
+  // WiFi-DC active time from the paper's Fig. 3a is ~1.4 s; ours is
+  // calibrated to it (asserted in the integration suite). Compare:
+  EXPECT_LT(to_seconds(wile_active), 0.4);
+  EXPECT_GT(1.4 / to_seconds(wile_active), 4.0);
+}
+
+TEST(PaperClaims, BestAlternativeWifiApproachIs19_8mJ) {
+  // §1: "Wi-LE achieves energy efficiency of 84 uJ per message while the
+  // best alternative WiFi approach achieves 19.8 mJ per message" — i.e.
+  // a ~236x gap.
+  const WifiMeasurement m = measure_wifi();
+  const double gap = m.ps_mj * 1000.0 / measure_wile_uj();
+  EXPECT_GT(gap, 180.0);
+  EXPECT_LT(gap, 300.0);
+}
+
+}  // namespace
+}  // namespace wile

@@ -1,0 +1,89 @@
+// Round-trip tests for the pcap reader (paired with the writer) and an
+// end-to-end capture -> file -> decode pipeline like wile_inspect's.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dot11/frame.hpp"
+#include "sim/tap.hpp"
+#include "util/pcap.hpp"
+#include "wile/sender.hpp"
+
+namespace wile {
+namespace {
+
+TEST(PcapRead, RoundTripsBufferContents) {
+  PcapBuffer buf{PcapLinkType::Ieee80211};
+  buf.write(TimePoint{seconds(1) + usec(500)}, Bytes{1, 2, 3});
+  buf.write(TimePoint{seconds(2)}, Bytes{4, 5});
+
+  const auto file = read_pcap(buf.bytes());
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->link_type, PcapLinkType::Ieee80211);
+  ASSERT_EQ(file->records.size(), 2u);
+  EXPECT_EQ(file->records[0].timestamp.us(), 1'000'500);
+  EXPECT_EQ(file->records[0].frame, (Bytes{1, 2, 3}));
+  EXPECT_EQ(file->records[1].timestamp.us(), 2'000'000);
+  EXPECT_EQ(file->records[1].frame, (Bytes{4, 5}));
+}
+
+TEST(PcapRead, RejectsBadMagicAndTruncation) {
+  EXPECT_FALSE(read_pcap(Bytes{1, 2, 3}).has_value());
+  PcapBuffer buf{PcapLinkType::Ieee80211};
+  buf.write(TimePoint{usec(1)}, Bytes{1, 2, 3});
+  Bytes truncated = buf.bytes();
+  truncated.resize(truncated.size() - 2);
+  EXPECT_FALSE(read_pcap(truncated).has_value());
+  Bytes bad_magic = buf.bytes();
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(read_pcap(bad_magic).has_value());
+}
+
+TEST(PcapRead, EmptyCaptureIsValid) {
+  PcapBuffer buf{PcapLinkType::User0};
+  const auto file = read_pcap(buf.bytes());
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->link_type, PcapLinkType::User0);
+  EXPECT_TRUE(file->records.empty());
+}
+
+TEST(PcapRead, FileRoundTripThroughDisk) {
+  const std::string path = "/tmp/wile_test_roundtrip.pcap";
+  {
+    // Capture a real Wi-LE transmission to disk.
+    sim::Scheduler scheduler;
+    sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+    PcapWriter writer{path, PcapLinkType::Ieee80211};
+    sim::CaptureTap tap{scheduler, medium, {1, 0}, writer};
+    core::SenderConfig cfg;
+    cfg.device_id = 0x1717;
+    core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
+    sender.send_now(Bytes{'1', '7'}, {});
+    scheduler.run_until_idle();
+    writer.flush();
+  }
+
+  const auto file = read_pcap_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(file.has_value());
+  ASSERT_EQ(file->records.size(), 1u);
+
+  // The captured frame decodes back to the original message.
+  auto parsed = dot11::parse_mpdu(file->records[0].frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  auto beacon = dot11::Beacon::decode(parsed->body);
+  ASSERT_TRUE(beacon.has_value());
+  core::Codec codec;
+  const auto fragments = codec.decode_all(beacon->ies);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].device_id, 0x1717u);
+  EXPECT_EQ(fragments[0].data, (Bytes{'1', '7'}));
+}
+
+TEST(PcapRead, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_pcap_file("/tmp/does_not_exist_wile.pcap").has_value());
+}
+
+}  // namespace
+}  // namespace wile

@@ -1,0 +1,208 @@
+// Unit tests for src/phy: rate tables, airtime formulas, BLE PHY timing,
+// the channel/PER model, and the energy-per-bit accounting behind E6.
+#include <gtest/gtest.h>
+
+#include "phy/airtime.hpp"
+#include "phy/ble_phy.hpp"
+#include "phy/channel.hpp"
+#include "phy/energy.hpp"
+#include "phy/rates.hpp"
+#include "util/rng.hpp"
+
+namespace wile::phy {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rates
+// ---------------------------------------------------------------------------
+
+TEST(Rates, TableIsComplete) {
+  EXPECT_EQ(all_rates().size(), 21u);
+  for (const RateInfo& info : all_rates()) {
+    EXPECT_GT(info.bits_per_us, 0.0);
+    if (info.modulation != Modulation::Dsss) EXPECT_GT(info.n_dbps, 0);
+  }
+}
+
+TEST(Rates, PaperRateIs72Mbps) {
+  const RateInfo& info = rate_info(WifiRate::Mcs7Sgi);
+  EXPECT_NEAR(info.bits_per_us, 72.2, 0.01);
+  EXPECT_TRUE(info.short_gi);
+  EXPECT_EQ(info.modulation, Modulation::HtMixed);
+}
+
+TEST(Rates, ParseByName) {
+  EXPECT_EQ(parse_rate("72M"), WifiRate::Mcs7Sgi);
+  EXPECT_EQ(parse_rate("6M"), WifiRate::G6);
+  EXPECT_EQ(parse_rate("5.5M"), WifiRate::B5_5);
+  EXPECT_EQ(parse_rate("mcs3"), WifiRate::Mcs3);
+  EXPECT_FALSE(parse_rate("99M").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Airtime
+// ---------------------------------------------------------------------------
+
+TEST(Airtime, DsssIsPreamblePlusPayload) {
+  // 100 bytes at 1 Mbps: 192 us preamble + 800 us payload.
+  EXPECT_EQ(frame_airtime(100, WifiRate::B1).count(), 992);
+  // At 11 Mbps: 192 + ceil-ish 800/11 = 192 + 72.7 -> 264 (rounded).
+  EXPECT_NEAR(frame_airtime(100, WifiRate::B11).count(), 265, 1.0);
+}
+
+TEST(Airtime, OfdmMatchesStandardFormula) {
+  // 100 bytes at 6 Mbps: 20 + 4*ceil((16+6+800)/24) + 6 = 20 + 4*35 + 6.
+  EXPECT_EQ(frame_airtime(100, WifiRate::G6).count(), 166);
+  // 1500 bytes at 54 Mbps: 20 + 4*ceil(12022/216) + 6 = 20 + 4*56 + 6.
+  EXPECT_EQ(frame_airtime(1500, WifiRate::G54).count(), 250);
+}
+
+TEST(Airtime, HtSgiSymbolsAre3_6us) {
+  // 100 bytes MCS7 SGI: 36 + 3.6*ceil(822/260) + 6 = 36 + 3.6*4 + 6 = 56.4.
+  const auto t = frame_airtime(100, WifiRate::Mcs7Sgi);
+  EXPECT_NEAR(static_cast<double>(t.count()), 56.4, 1.0);
+}
+
+TEST(Airtime, MonotonicInFrameSize) {
+  for (const RateInfo& info : all_rates()) {
+    EXPECT_LE(frame_airtime(50, info.rate).count(), frame_airtime(500, info.rate).count())
+        << info.name;
+  }
+}
+
+TEST(Airtime, FasterRateNeverSlower) {
+  EXPECT_LT(frame_airtime(500, WifiRate::Mcs7Sgi).count(),
+            frame_airtime(500, WifiRate::G6).count());
+  EXPECT_LT(frame_airtime(500, WifiRate::G54).count(),
+            frame_airtime(500, WifiRate::G6).count());
+}
+
+TEST(Airtime, AckIsShort) {
+  // 14-byte ACK at 24 Mbps: 20 + 4*ceil(134/96) + 6 = 34 us.
+  EXPECT_EQ(ack_airtime().count(), 34);
+}
+
+TEST(Airtime, MacTimingConstants) {
+  EXPECT_EQ(MacTiming::kSifs.count(), 10);
+  EXPECT_EQ(MacTiming::kSlot.count(), 9);
+  EXPECT_EQ(MacTiming::kDifs.count(), 28);
+}
+
+// ---------------------------------------------------------------------------
+// BLE PHY
+// ---------------------------------------------------------------------------
+
+TEST(BlePhyTiming, PduAirtime) {
+  // Empty data PDU: 10 bytes on air = 80 us at 1 Mbps.
+  EXPECT_EQ(BlePhy::pdu_airtime(0).count(), 80);
+  // Full advertising payload: 10 + 37 = 47 bytes = 376 us.
+  EXPECT_EQ(BlePhy::pdu_airtime(37).count(), 376);
+}
+
+TEST(BlePhyTiming, TifsIs150us) { EXPECT_EQ(BlePhy::kTifs.count(), 150); }
+
+// ---------------------------------------------------------------------------
+// Channel model
+// ---------------------------------------------------------------------------
+
+TEST(Channel, RxPowerDecaysWithDistance) {
+  Channel ch;
+  EXPECT_GT(ch.rx_power_dbm(0.0, 1.0), ch.rx_power_dbm(0.0, 10.0));
+  EXPECT_GT(ch.rx_power_dbm(0.0, 10.0), ch.rx_power_dbm(0.0, 100.0));
+}
+
+TEST(Channel, ReferenceLossAtOneMeter) {
+  Channel ch;
+  EXPECT_NEAR(ch.rx_power_dbm(0.0, 1.0), -40.0, 1e-9);
+}
+
+TEST(Channel, PerBoundsAndMonotonicity) {
+  Channel ch;
+  double last_per = 0.0;
+  for (double snr = 40.0; snr >= 0.0; snr -= 5.0) {
+    const double per = ch.packet_error_rate(snr, WifiRate::Mcs7Sgi, 200);
+    EXPECT_GE(per, 0.0);
+    EXPECT_LE(per, 1.0);
+    EXPECT_GE(per, last_per - 1e-12);  // PER grows as SNR falls
+    last_per = per;
+  }
+}
+
+TEST(Channel, LongerFramesFailMore) {
+  Channel ch;
+  const double snr = 26.0;
+  EXPECT_LT(ch.packet_error_rate(snr, WifiRate::Mcs7Sgi, 50),
+            ch.packet_error_rate(snr, WifiRate::Mcs7Sgi, 1500));
+}
+
+TEST(Channel, RobustRatesReachFurther) {
+  Channel ch;
+  const double r6 = ch.max_range_m(0.0, WifiRate::G6, 100);
+  const double r72 = ch.max_range_m(0.0, WifiRate::Mcs7Sgi, 100);
+  EXPECT_GT(r6, r72);
+}
+
+TEST(Channel, PaperRangeClaim72MbpsAt0dBm) {
+  // §5.4: 72 Mbps at 0 dBm has "a similar range as BLE ... (i.e., a few
+  // meters)". Both links should land in the single-digit-meters regime
+  // and within ~2x of each other.
+  Channel ch;
+  const double wifi_range = ch.max_range_m(0.0, WifiRate::Mcs7Sgi, 150);
+  const double ble_range = ch.ble_max_range_m(0.0, 47);
+  EXPECT_GT(wifi_range, 1.0);
+  EXPECT_LT(wifi_range, 20.0);
+  EXPECT_GT(ble_range / wifi_range, 0.5);
+  EXPECT_LT(ble_range / wifi_range, 2.0);
+}
+
+TEST(Channel, FrameLostIsDeterministicGivenSeed) {
+  Channel ch;
+  Rng a{1}, b{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ch.frame_lost(a, 0.0, 8.0, WifiRate::Mcs7Sgi, 200),
+              ch.frame_lost(b, 0.0, 8.0, WifiRate::Mcs7Sgi, 200));
+  }
+}
+
+TEST(Channel, CloseRangeIsReliable) {
+  Channel ch;
+  Rng rng{2};
+  int losses = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (ch.frame_lost(rng, 0.0, 1.0, WifiRate::Mcs7Sgi, 200)) ++losses;
+  }
+  EXPECT_LT(losses, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Energy per bit (E6 backing maths)
+// ---------------------------------------------------------------------------
+
+TEST(EnergyPerBit, WifiSpansPaperRange) {
+  // "10-100 nJ/bit depending on the bitrate" across the OFDM/HT ladder.
+  EXPECT_NEAR(in_nanojoules(wifi_energy_per_bit(WifiRate::G6)), 100.0, 1.0);
+  EXPECT_LT(in_nanojoules(wifi_energy_per_bit(WifiRate::Mcs7Sgi)), 10.0);
+  EXPECT_GT(in_nanojoules(wifi_energy_per_bit(WifiRate::Mcs7Sgi)), 5.0);
+}
+
+TEST(EnergyPerBit, BleEffectiveMatchesPaperRange) {
+  const double nj = in_nanojoules(ble_effective_energy_per_bit());
+  EXPECT_GT(nj, 260.0);
+  EXPECT_LT(nj, 310.0);
+}
+
+TEST(EnergyPerBit, BleRawIsCheaperThanEffective) {
+  EXPECT_LT(ble_raw_energy_per_bit().value, ble_effective_energy_per_bit().value);
+}
+
+TEST(EnergyPerBit, EffectiveWifiIncludesPreambleOverhead) {
+  // Small frames pay proportionally more preamble.
+  EXPECT_GT(wifi_effective_energy_per_bit(20, WifiRate::Mcs7Sgi).value,
+            wifi_effective_energy_per_bit(1000, WifiRate::Mcs7Sgi).value);
+  // And always at least the steady-state PHY cost.
+  EXPECT_GE(wifi_effective_energy_per_bit(1000, WifiRate::Mcs7Sgi).value,
+            wifi_energy_per_bit(WifiRate::Mcs7Sgi).value);
+}
+
+}  // namespace
+}  // namespace wile::phy

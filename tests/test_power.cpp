@@ -1,0 +1,204 @@
+// Unit tests for src/power: timelines, energy integration, Eq. (1), and
+// the simulated multimeter.
+#include <gtest/gtest.h>
+
+#include "power/devices.hpp"
+#include "power/timeline.hpp"
+#include "power/trace_recorder.hpp"
+
+namespace wile::power {
+namespace {
+
+TEST(Timeline, CurrentAtFollowsSegments) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(10), "a");
+  tl.set_current(TimePoint{usec(100)}, milliamps(20), "b");
+  EXPECT_NEAR(in_milliamps(tl.current_at(TimePoint{usec(0)})), 10.0, 1e-12);
+  EXPECT_NEAR(in_milliamps(tl.current_at(TimePoint{usec(99)})), 10.0, 1e-12);
+  EXPECT_NEAR(in_milliamps(tl.current_at(TimePoint{usec(100)})), 20.0, 1e-12);
+  EXPECT_NEAR(in_milliamps(tl.current_at(TimePoint{usec(10'000)})), 20.0, 1e-12);
+}
+
+TEST(Timeline, BeforeFirstSegmentIsZero) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(50)}, milliamps(10), "a");
+  EXPECT_EQ(tl.current_at(TimePoint{usec(10)}).value, 0.0);
+}
+
+TEST(Timeline, EnergyIntegratesPiecewise) {
+  PowerTimeline tl{volts(2.0)};
+  tl.set_current(TimePoint{usec(0)}, amps(1.0), "a");     // 2 W
+  tl.set_current(TimePoint{usec(100)}, amps(0.5), "b");   // 1 W
+  // 100 us at 2 W + 100 us at 1 W = 200 uJ + 100 uJ.
+  const Joules e = tl.energy_between(TimePoint{usec(0)}, TimePoint{usec(200)});
+  EXPECT_NEAR(in_microjoules(e), 300.0, 1e-9);
+}
+
+TEST(Timeline, EnergySubrange) {
+  PowerTimeline tl{volts(1.0)};
+  tl.set_current(TimePoint{usec(0)}, amps(1.0), "a");
+  const Joules e = tl.energy_between(TimePoint{usec(40)}, TimePoint{usec(60)});
+  EXPECT_NEAR(in_microjoules(e), 20.0, 1e-9);
+}
+
+TEST(Timeline, LastSegmentExtendsForever) {
+  PowerTimeline tl{volts(1.0)};
+  tl.set_current(TimePoint{usec(0)}, amps(2.0), "a");
+  const Joules e = tl.energy_between(TimePoint{seconds(10)}, TimePoint{seconds(11)});
+  EXPECT_NEAR(e.value, 2.0, 1e-9);
+}
+
+TEST(Timeline, MergesIdenticalConsecutiveStates) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(10), "a");
+  tl.set_current(TimePoint{usec(50)}, milliamps(10), "a");
+  EXPECT_EQ(tl.segments().size(), 1u);
+}
+
+TEST(Timeline, ZeroLengthSegmentReplaced) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(10)}, milliamps(10), "a");
+  tl.set_current(TimePoint{usec(10)}, milliamps(20), "b");
+  ASSERT_EQ(tl.segments().size(), 1u);
+  EXPECT_NEAR(in_milliamps(tl.segments()[0].current), 20.0, 1e-12);
+}
+
+TEST(Timeline, RejectsNonMonotonicUpdates) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(100)}, milliamps(10), "a");
+  EXPECT_THROW(tl.set_current(TimePoint{usec(50)}, milliamps(5), "b"), std::logic_error);
+}
+
+TEST(Timeline, AveragePower) {
+  PowerTimeline tl{volts(1.0)};
+  tl.set_current(TimePoint{usec(0)}, amps(1.0), "a");
+  tl.set_current(TimePoint{usec(100)}, amps(3.0), "b");
+  const Watts avg = tl.average_power(TimePoint{usec(0)}, TimePoint{usec(200)});
+  EXPECT_NEAR(avg.value, 2.0, 1e-9);
+}
+
+TEST(Timeline, FindPhaseLocatesRange) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(1), "Sleep");
+  tl.set_current(TimePoint{usec(100)}, milliamps(40), "MC/WiFi init");
+  tl.set_current(TimePoint{usec(300)}, milliamps(100), "Tx");
+  tl.set_current(TimePoint{usec(400)}, milliamps(1), "Sleep");
+
+  TimePoint start, end;
+  ASSERT_TRUE(tl.find_phase("Tx", TimePoint{usec(0)}, &start, &end));
+  EXPECT_EQ(start.us(), 300);
+  EXPECT_EQ(end.us(), 400);
+  EXPECT_FALSE(tl.find_phase("DHCP/ARP", TimePoint{usec(0)}, nullptr, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// Equation (1) of the paper
+// ---------------------------------------------------------------------------
+
+TEST(Eq1, MatchesHandComputation) {
+  // Ptx=0.6 W for 140 us, Pidle=8.25 uW, INT=60 s.
+  const Watts p = duty_cycle_average_power(watts(0.6), usec(140), microwatts(8.25),
+                                           seconds(60));
+  // (0.6*140e-6 + 8.25e-6*(60-0.00014)) / 60 = (84e-6 + 495e-6)/60.
+  EXPECT_NEAR(in_microwatts(p), 9.65, 0.01);
+}
+
+TEST(Eq1, ShortIntervalApproachesTxPower) {
+  const Watts p = duty_cycle_average_power(watts(0.5), msec(100), microwatts(1),
+                                           msec(100));
+  EXPECT_NEAR(p.value, 0.5, 1e-9);
+}
+
+TEST(Eq1, LongIntervalApproachesIdlePower) {
+  const Watts p = duty_cycle_average_power(watts(0.5), usec(100), microwatts(10),
+                                           minutes(60));
+  EXPECT_NEAR(in_microwatts(p), 10.0, 0.2);
+}
+
+TEST(Eq1, MonotoneDecreasingInInterval) {
+  double last = 1e9;
+  for (int s = 10; s <= 300; s += 10) {
+    const Watts p = duty_cycle_average_power(watts(0.6), msec(200), microwatts(8.25),
+                                             seconds(s));
+    EXPECT_LT(p.value, last);
+    last = p.value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder (the simulated Keysight 34465A)
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, SamplesAtConfiguredRate) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(10), "a");
+  TraceRecorder rec;  // 50 kS/s => 20 us period
+  const auto trace = rec.record(tl, TimePoint{usec(0)}, TimePoint{msec(1)});
+  EXPECT_EQ(trace.size(), 50u);
+  EXPECT_NEAR(trace[1].time_s - trace[0].time_s, 20e-6, 1e-9);
+  EXPECT_NEAR(trace[0].current_ma, 10.0, 1e-9);
+}
+
+TEST(TraceRecorder, CapturesSpikes) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(1), "idle");
+  tl.set_current(TimePoint{usec(500)}, milliamps(200), "tx");
+  tl.set_current(TimePoint{usec(640)}, milliamps(1), "idle");
+  TraceRecorder rec;
+  const auto trace = rec.record(tl, TimePoint{usec(0)}, TimePoint{msec(2)});
+  EXPECT_NEAR(TraceRecorder::peak_ma(trace), 200.0, 1e-9);
+}
+
+TEST(TraceRecorder, DecimationPreservesPeaks) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(1), "idle");
+  tl.set_current(TimePoint{msec(500)}, milliamps(250), "tx");
+  tl.set_current(TimePoint{msec(500) + usec(100)}, milliamps(1), "idle");
+  TraceRecorder rec;
+  const auto dense = rec.record(tl, TimePoint{usec(0)}, TimePoint{seconds(1)});
+  const auto sparse = TraceRecorder::decimate(dense, 200);
+  EXPECT_LE(sparse.size(), 200u);
+  EXPECT_NEAR(TraceRecorder::peak_ma(sparse), 250.0, 1e-9);
+}
+
+TEST(TraceRecorder, CsvHasHeaderAndRows) {
+  const std::vector<TraceSample> trace = {{0.0, 1.5}, {0.001, 2.5}};
+  const std::string csv = TraceRecorder::to_csv(trace);
+  EXPECT_NE(csv.find("time_s,current_mA"), std::string::npos);
+  EXPECT_NE(csv.find("0.001000,2.5000"), std::string::npos);
+}
+
+TEST(TraceRecorder, MeanOfConstantTrace) {
+  PowerTimeline tl{volts(3.3)};
+  tl.set_current(TimePoint{usec(0)}, milliamps(42), "x");
+  TraceRecorder rec;
+  const auto trace = rec.record(tl, TimePoint{usec(0)}, TimePoint{msec(10)});
+  EXPECT_NEAR(TraceRecorder::mean_ma(trace), 42.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Device profiles (paper constants)
+// ---------------------------------------------------------------------------
+
+TEST(DeviceProfiles, PaperQuotedCurrents) {
+  const Esp32PowerProfile esp;
+  EXPECT_NEAR(in_microamps(esp.deep_sleep), 2.5, 1e-9);       // §5.1 / Table 1
+  EXPECT_NEAR(in_milliamps(esp.light_sleep), 0.8, 1e-9);      // §5.1
+  EXPECT_NEAR(in_milliamps(esp.auto_light_sleep_assoc), 4.5, 1e-9);  // Table 1
+  EXPECT_NEAR(esp.supply.value, 3.3, 1e-12);
+
+  const Cc2541PowerProfile ble;
+  EXPECT_NEAR(in_microamps(ble.sleep), 1.1, 1e-9);  // Table 1
+  EXPECT_NEAR(ble.supply.value, 3.0, 1e-12);
+}
+
+TEST(DeviceProfiles, WiLeTxEnergyTargetsTable1) {
+  // (airtime of a ~90-byte beacon at 72 Mbps + PA ramp) x 0.6 W should
+  // land close to the paper's 84 uJ per message.
+  const Esp32PowerProfile esp;
+  const Watts p_tx = esp.supply * esp.radio_tx;
+  EXPECT_NEAR(p_tx.value, 0.6, 0.01);
+}
+
+}  // namespace
+}  // namespace wile::power

@@ -1,0 +1,369 @@
+// Unit tests for src/sim: the event scheduler, the broadcast medium with
+// collisions and carrier sense, and the CSMA/CA machine.
+#include <gtest/gtest.h>
+
+#include "dot11/frame.hpp"
+#include "sim/csma.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wile::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint{usec(30)}, [&] { order.push_back(3); });
+  s.schedule_at(TimePoint{usec(10)}, [&] { order.push_back(1); });
+  s.schedule_at(TimePoint{usec(20)}, [&] { order.push_back(2); });
+  s.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().us(), 30);
+}
+
+TEST(Scheduler, EqualTimesFireInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(TimePoint{usec(100)}, [&order, i] { order.push_back(i); });
+  }
+  s.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_in(usec(10), [&] { fired = true; });
+  s.cancel(id);
+  s.run_until_idle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoOp) {
+  Scheduler s;
+  s.cancel(12345);  // must not throw
+  SUCCEED();
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) s.schedule_in(usec(5), tick);
+  };
+  s.schedule_in(usec(5), tick);
+  s.run_until_idle();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.now().us(), 50);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(TimePoint{usec(10)}, [&] { ++fired; });
+  s.schedule_at(TimePoint{usec(100)}, [&] { ++fired; });
+  s.run_until(TimePoint{usec(50)});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now().us(), 50);
+  s.run_until(TimePoint{usec(200)});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, ThrowsOnPastEvent) {
+  Scheduler s;
+  s.schedule_at(TimePoint{usec(10)}, [] {});
+  s.run_until_idle();
+  EXPECT_THROW(s.schedule_at(TimePoint{usec(5)}, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, RunawayLoopGuard) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.schedule_in(usec(1), forever); };
+  s.schedule_in(usec(1), forever);
+  EXPECT_THROW(s.run_until_idle(1000), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Medium
+// ---------------------------------------------------------------------------
+
+class RecordingClient : public MediumClient {
+ public:
+  void on_frame(const RxFrame& frame) override { frames.push_back(frame); }
+  void on_corrupt_frame(const RxFrame&, bool collision) override {
+    if (collision) {
+      ++collisions;
+    } else {
+      ++channel_losses;
+    }
+  }
+  [[nodiscard]] bool rx_enabled() const override { return listening; }
+
+  bool listening = true;
+  std::vector<RxFrame> frames;
+  int collisions = 0;
+  int channel_losses = 0;
+};
+
+class MediumTest : public ::testing::Test {
+ protected:
+  Scheduler scheduler;
+  phy::Channel channel{};
+  Medium medium{scheduler, channel, Rng{1}};
+};
+
+TEST_F(MediumTest, DeliversToNearbyListener) {
+  RecordingClient tx_client, rx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  medium.attach(&rx_client, {2, 0});
+
+  TxRequest req;
+  req.mpdu = Bytes{1, 2, 3};
+  req.airtime = usec(100);
+  req.rate = phy::WifiRate::G6;
+  bool completed = false;
+  req.on_complete = [&] { completed = true; };
+  medium.transmit(tx, std::move(req));
+  scheduler.run_until_idle();
+
+  EXPECT_TRUE(completed);
+  ASSERT_EQ(rx_client.frames.size(), 1u);
+  EXPECT_EQ(rx_client.frames[0].mpdu, (Bytes{1, 2, 3}));
+  EXPECT_EQ(rx_client.frames[0].transmitter, tx);
+  EXPECT_LT(rx_client.frames[0].rx_power_dbm, 0.0);
+  EXPECT_TRUE(tx_client.frames.empty());  // no self-reception
+}
+
+TEST_F(MediumTest, OutOfRangeHearsNothing) {
+  RecordingClient tx_client, far_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  medium.attach(&far_client, {100'000, 0});
+
+  TxRequest req;
+  req.mpdu = Bytes{1};
+  req.airtime = usec(50);
+  medium.transmit(tx, std::move(req));
+  scheduler.run_until_idle();
+  EXPECT_TRUE(far_client.frames.empty());
+  EXPECT_EQ(far_client.collisions, 0);
+}
+
+TEST_F(MediumTest, SleepingRadioMissesFrames) {
+  RecordingClient tx_client, rx_client;
+  rx_client.listening = false;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  medium.attach(&rx_client, {2, 0});
+
+  TxRequest req;
+  req.mpdu = Bytes{1};
+  req.airtime = usec(50);
+  medium.transmit(tx, std::move(req));
+  scheduler.run_until_idle();
+  EXPECT_TRUE(rx_client.frames.empty());
+}
+
+TEST_F(MediumTest, OverlappingTransmissionsCollideAtReceiver) {
+  RecordingClient a_client, b_client, rx_client;
+  const NodeId a = medium.attach(&a_client, {0, 0});
+  const NodeId b = medium.attach(&b_client, {1, 0});
+  medium.attach(&rx_client, {0.5, 1});
+
+  TxRequest ra;
+  ra.mpdu = Bytes{1};
+  ra.airtime = usec(100);
+  medium.transmit(a, std::move(ra));
+
+  scheduler.schedule_in(usec(50), [&] {
+    TxRequest rb;
+    rb.mpdu = Bytes{2};
+    rb.airtime = usec(100);
+    medium.transmit(b, std::move(rb));
+  });
+  scheduler.run_until_idle();
+
+  EXPECT_TRUE(rx_client.frames.empty());
+  EXPECT_EQ(rx_client.collisions, 2);
+  EXPECT_EQ(medium.stats().collision_losses, 2u + 2u);  // a/b also hear each other
+}
+
+TEST_F(MediumTest, NonOverlappingTransmissionsBothArrive) {
+  RecordingClient a_client, rx_client;
+  const NodeId a = medium.attach(&a_client, {0, 0});
+  medium.attach(&rx_client, {1, 0});
+
+  TxRequest r1;
+  r1.mpdu = Bytes{1};
+  r1.airtime = usec(100);
+  medium.transmit(a, std::move(r1));
+  scheduler.schedule_in(usec(200), [&] {
+    TxRequest r2;
+    r2.mpdu = Bytes{2};
+    r2.airtime = usec(100);
+    medium.transmit(a, std::move(r2));
+  });
+  scheduler.run_until_idle();
+  EXPECT_EQ(rx_client.frames.size(), 2u);
+}
+
+TEST_F(MediumTest, CarrierBusyDuringTransmission) {
+  RecordingClient a_client, b_client;
+  const NodeId a = medium.attach(&a_client, {0, 0});
+  const NodeId b = medium.attach(&b_client, {2, 0});
+
+  TxRequest req;
+  req.mpdu = Bytes{1};
+  req.airtime = usec(100);
+  medium.transmit(a, std::move(req));
+
+  EXPECT_TRUE(medium.carrier_busy(a));  // own TX
+  EXPECT_TRUE(medium.carrier_busy(b));  // audible neighbour
+  scheduler.run_until_idle();
+  EXPECT_FALSE(medium.carrier_busy(a));
+  EXPECT_FALSE(medium.carrier_busy(b));
+}
+
+TEST_F(MediumTest, DoubleTransmitThrows) {
+  RecordingClient client;
+  const NodeId a = medium.attach(&client, {0, 0});
+  TxRequest r1;
+  r1.mpdu = Bytes{1};
+  r1.airtime = usec(100);
+  medium.transmit(a, std::move(r1));
+  TxRequest r2;
+  r2.mpdu = Bytes{2};
+  r2.airtime = usec(100);
+  EXPECT_THROW(medium.transmit(a, std::move(r2)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// CSMA
+// ---------------------------------------------------------------------------
+
+class CsmaTest : public ::testing::Test {
+ protected:
+  Scheduler scheduler;
+  Medium medium{scheduler, phy::Channel{}, Rng{1}};
+};
+
+TEST_F(CsmaTest, BroadcastCompletesWithoutAck) {
+  RecordingClient tx_client, rx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  medium.attach(&rx_client, {2, 0});
+  Csma csma{scheduler, medium, tx, Rng{2}};
+
+  std::optional<Csma::Result> result;
+  csma.send(Bytes(100, 0xab), phy::WifiRate::G6, /*expect_ack=*/false,
+            [&](const Csma::Result& r) { result = r; });
+  scheduler.run_until_idle();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+  EXPECT_EQ(result->transmissions, 1);
+  EXPECT_EQ(rx_client.frames.size(), 1u);
+}
+
+TEST_F(CsmaTest, WaitsAtLeastDifsBeforeTransmitting) {
+  RecordingClient tx_client, rx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  medium.attach(&rx_client, {2, 0});
+  Csma csma{scheduler, medium, tx, Rng{2}};
+
+  csma.send(Bytes{1}, phy::WifiRate::G6, false, {});
+  scheduler.run_until_idle();
+  ASSERT_EQ(medium.stats().transmissions, 1u);
+  // First possible TX start is after DIFS (28 us) of observed idle.
+  EXPECT_GE(scheduler.now().us(), phy::MacTiming::kDifs.count());
+}
+
+TEST_F(CsmaTest, RetriesWithoutAckUntilLimit) {
+  RecordingClient tx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  CsmaConfig cfg;
+  cfg.retry_limit = 4;
+  Csma csma{scheduler, medium, tx, Rng{2}, cfg};
+
+  std::optional<Csma::Result> result;
+  csma.send(Bytes(50, 1), phy::WifiRate::G6, /*expect_ack=*/true,
+            [&](const Csma::Result& r) { result = r; });
+  scheduler.run_until_idle();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->transmissions, 5);  // initial + limit reached
+  EXPECT_EQ(medium.stats().transmissions, 5u);
+}
+
+/// A peer that acknowledges every received frame immediately (an ideal
+/// responder well inside the SIFS+ACK timeout).
+class AckingClient : public MediumClient {
+ public:
+  explicit AckingClient(Csma& csma) : csma_(csma) {}
+  void on_frame(const RxFrame&) override { csma_.notify_ack(); }
+  [[nodiscard]] bool rx_enabled() const override { return true; }
+
+ private:
+  Csma& csma_;
+};
+
+TEST_F(CsmaTest, AckStopsRetries) {
+  RecordingClient tx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  Csma csma{scheduler, medium, tx, Rng{2}};
+  AckingClient peer{csma};
+  medium.attach(&peer, {2, 0});
+
+  std::optional<Csma::Result> result;
+  csma.send(Bytes(50, 1), phy::WifiRate::G6, /*expect_ack=*/true,
+            [&](const Csma::Result& r) { result = r; });
+  scheduler.run_until_idle();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+  EXPECT_EQ(result->transmissions, 1);
+}
+
+TEST_F(CsmaTest, QueuedSendsGoOutInOrder) {
+  RecordingClient tx_client, rx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  medium.attach(&rx_client, {2, 0});
+  Csma csma{scheduler, medium, tx, Rng{2}};
+
+  csma.send(Bytes{1}, phy::WifiRate::G6, false, {});
+  csma.send(Bytes{2}, phy::WifiRate::G6, false, {});
+  csma.send(Bytes{3}, phy::WifiRate::G6, false, {});
+  scheduler.run_until_idle();
+
+  ASSERT_EQ(rx_client.frames.size(), 3u);
+  EXPECT_EQ(rx_client.frames[0].mpdu[0], 1);
+  EXPECT_EQ(rx_client.frames[1].mpdu[0], 2);
+  EXPECT_EQ(rx_client.frames[2].mpdu[0], 3);
+}
+
+TEST_F(CsmaTest, DefersWhileNeighbourTransmits) {
+  RecordingClient a_client, b_client, rx_client;
+  const NodeId a = medium.attach(&a_client, {0, 0});
+  const NodeId b = medium.attach(&b_client, {1, 0});
+  medium.attach(&rx_client, {0.5, 1});
+
+  // Long transmission from A occupies the channel.
+  TxRequest busy;
+  busy.mpdu = Bytes(1000, 9);
+  busy.airtime = msec(2);
+  medium.transmit(a, std::move(busy));
+
+  Csma csma{scheduler, medium, b, Rng{3}};
+  csma.send(Bytes{7}, phy::WifiRate::G6, false, {});
+  scheduler.run_until_idle();
+
+  // Both frames must arrive intact: CSMA deferred past A's airtime.
+  EXPECT_EQ(rx_client.frames.size(), 2u);
+  EXPECT_EQ(rx_client.collisions, 0);
+}
+
+}  // namespace
+}  // namespace wile::sim

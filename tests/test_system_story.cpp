@@ -1,0 +1,148 @@
+// Full-system story test: everything the paper describes, in one world.
+//
+//  * A building WPA2 AP with a collector server behind it.
+//  * A Wi-LE -> infrastructure gateway (monitor radio + associated PS
+//    client) bridging sensor readings to the server.
+//  * A fleet of Wi-LE sensors — some plaintext, some encrypted, one with
+//    an RX window served by a two-way controller.
+//  * A legacy WiFi-DC sensor doing the full re-association dance.
+//  * A BLE pair running the paper's baseline alongside.
+//  * A phone model verifying the scan list stays clean throughout.
+//
+// One deterministic 5-minute simulation; every subsystem must do its job
+// simultaneously on the same medium.
+#include <gtest/gtest.h>
+
+#include "ap/access_point.hpp"
+#include "ble/link.hpp"
+#include "sta/station.hpp"
+#include "wile/controller.hpp"
+#include "wile/gateway.hpp"
+#include "wile/scan_list.hpp"
+#include "wile/sender.hpp"
+
+namespace wile {
+namespace {
+
+TEST(SystemStory, EverythingCoexistsOnOneMedium) {
+  sim::Scheduler scheduler;
+  sim::Medium wifi_medium{scheduler, phy::Channel{}, Rng{1000}};
+  sim::Medium ble_medium{scheduler, phy::Channel{}, Rng{1001}};
+
+  // --- infrastructure ---------------------------------------------------
+  ap::AccessPointConfig ap_cfg;
+  ap::AccessPoint ap{scheduler, wifi_medium, {0, 0}, ap_cfg, Rng{1}};
+  std::vector<core::ForwardedReading> server_rows;
+  std::vector<Bytes> direct_uplinks;
+  ap.set_uplink_handler([&](const MacAddress&, const net::Ipv4Header&,
+                            const net::UdpDatagram& udp) {
+    if (auto reading = core::ForwardedReading::decode(udp.payload)) {
+      server_rows.push_back(*reading);
+    } else {
+      direct_uplinks.push_back(udp.payload);
+    }
+  });
+  ap.start();
+
+  core::GatewayConfig gw_cfg;
+  gw_cfg.station.mac = MacAddress::from_seed(0x6A7E);
+  gw_cfg.monitor.key = std::nullopt;  // receives plaintext devices
+  core::Gateway gateway{scheduler, wifi_medium, {3, 0}, gw_cfg, Rng{2}};
+  bool gw_ready = false;
+  gateway.start([&](bool ok) { gw_ready = ok; });
+
+  // --- Wi-LE sensor fleet -------------------------------------------------
+  Rng seeder{3};
+  std::vector<std::unique_ptr<core::Sender>> sensors;
+  for (int i = 0; i < 3; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = 0x900 + i;
+    cfg.period = seconds(20);
+    cfg.wake_jitter = msec(250);
+    sensors.push_back(std::make_unique<core::Sender>(
+        scheduler, wifi_medium, sim::Position{5.0 + i, 1.0}, cfg, seeder.fork()));
+    sensors.back()->start_duty_cycle([i] { return Bytes{static_cast<std::uint8_t>(i)}; });
+  }
+
+  // Two-way device + controller.
+  core::SenderConfig twoway_cfg;
+  twoway_cfg.device_id = 0xA00;
+  twoway_cfg.period = seconds(30);
+  twoway_cfg.rx_window = core::RxWindow{msec(2), msec(20)};
+  core::Sender twoway{scheduler, wifi_medium, {6, 2}, twoway_cfg, seeder.fork()};
+  std::vector<core::Message> downlinks;
+  twoway.set_downlink_callback([&](const core::Message& m) { downlinks.push_back(m); });
+  twoway.start_duty_cycle([] { return Bytes{0xA0}; });
+
+  core::ControllerConfig ctl_cfg;
+  core::Controller controller{scheduler, wifi_medium, {4, 2}, ctl_cfg, seeder.fork()};
+  scheduler.schedule_at(TimePoint{seconds(45)}, [&] {
+    controller.queue_downlink(0xA00, Bytes{'g', 'o'});
+  });
+
+  // --- legacy WiFi-DC sensor ----------------------------------------------
+  sta::StationConfig dc_cfg;
+  dc_cfg.mac = MacAddress::from_seed(0xDC);
+  sta::Station dc_sensor{scheduler, wifi_medium, {2, 3}, dc_cfg, seeder.fork()};
+  int dc_cycles = 0;
+  std::function<void()> dc_loop = [&] {
+    dc_sensor.run_duty_cycle_transmission(Bytes{'d', 'c'},
+                                          [&](const sta::CycleReport& r) {
+                                            if (r.success) ++dc_cycles;
+                                          });
+  };
+  scheduler.schedule_at(TimePoint{seconds(10)}, dc_loop);
+  scheduler.schedule_at(TimePoint{seconds(130)}, dc_loop);
+
+  // --- BLE baseline (own band) ----------------------------------------------
+  ble::BleLinkConfig ble_cfg;
+  ble_cfg.connection_interval = seconds(10);
+  ble::BleMaster ble_master{scheduler, ble_medium, {0, 0}, ble_cfg};
+  ble::BleSlave ble_slave{scheduler, ble_medium, {2, 0}, ble_cfg};
+  for (int i = 0; i < 30; ++i) ble_slave.queue_payload(Bytes{static_cast<std::uint8_t>(i)});
+  ble_master.start();
+  ble_slave.start();
+
+  // --- the user's phone -------------------------------------------------------
+  core::ScanListModel phone{scheduler, wifi_medium, {1, 4}};
+
+  // --- run ---------------------------------------------------------------------
+  scheduler.run_until(TimePoint{minutes(5)});
+  for (auto& s : sensors) s->stop_duty_cycle();
+  twoway.stop_duty_cycle();
+
+  // --- assertions ---------------------------------------------------------------
+  ASSERT_TRUE(gw_ready);
+
+  // The gateway bridged the fleet: 3 sensors x ~15 cycles + two-way device.
+  EXPECT_GE(server_rows.size(), 40u);
+  EXPECT_EQ(gateway.stats().forward_failures, 0u);
+  std::set<std::uint32_t> bridged_ids;
+  for (const auto& row : server_rows) bridged_ids.insert(row.device_id);
+  EXPECT_TRUE(bridged_ids.count(0x900));
+  EXPECT_TRUE(bridged_ids.count(0x901));
+  EXPECT_TRUE(bridged_ids.count(0x902));
+  EXPECT_TRUE(bridged_ids.count(0xA00));
+
+  // The two-way downlink landed in an RX window.
+  ASSERT_EQ(downlinks.size(), 1u);
+  EXPECT_EQ(downlinks[0].data, (Bytes{'g', 'o'}));
+
+  // The legacy sensor completed both of its expensive cycles.
+  EXPECT_EQ(dc_cycles, 2);
+  EXPECT_EQ(direct_uplinks.size(), 2u);
+
+  // BLE ran unbothered on its own band.
+  EXPECT_GE(ble_master.received_payloads().size(), 25u);
+  EXPECT_EQ(ble_slave.polls_missed(), 0u);
+
+  // And through all of it, the user's network list shows exactly one
+  // network: the real AP.
+  const auto visible = phone.visible();
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].ssid, ap_cfg.ssid);
+  EXPECT_GE(phone.hidden_networks(), 4u);  // the Wi-LE fleet, unseen
+}
+
+}  // namespace
+}  // namespace wile

@@ -1,0 +1,176 @@
+// Tests for the background traffic generator and the OS scan-list model
+// (the §4.1 spam-avoidance reproduction).
+#include <gtest/gtest.h>
+
+#include "ap/access_point.hpp"
+#include "sim/traffic.hpp"
+#include "wile/scan_list.hpp"
+#include "wile/sender.hpp"
+
+namespace wile {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Traffic generator
+// ---------------------------------------------------------------------------
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  sim::Scheduler scheduler_;
+  sim::Medium medium_{scheduler_, phy::Channel{}, Rng{1}};
+};
+
+TEST_F(TrafficTest, DeliversOfferedLoad) {
+  sim::TrafficConfig cfg;
+  cfg.frames_per_second = 100.0;
+  sim::TrafficSink sink{scheduler_, medium_, {3, 0}, cfg.sink_mac};
+  sim::TrafficSource source{scheduler_, medium_, {0, 0}, cfg, Rng{2}};
+  source.start();
+  scheduler_.run_until(TimePoint{seconds(10)});
+  source.stop();
+
+  // Poisson arrivals at 100 f/s for 10 s: ~1000 frames, all delivered on
+  // a clean channel.
+  EXPECT_GT(source.frames_offered(), 900u);
+  EXPECT_LT(source.frames_offered(), 1100u);
+  EXPECT_EQ(source.frames_failed(), 0u);
+  EXPECT_NEAR(static_cast<double>(sink.frames_received()),
+              static_cast<double>(source.frames_delivered()), 2.0);
+}
+
+TEST_F(TrafficTest, ThroughputScalesWithOfferedLoad) {
+  auto run = [&](double fps) {
+    sim::Scheduler scheduler;
+    sim::Medium medium{scheduler, phy::Channel{}, Rng{3}};
+    sim::TrafficConfig cfg;
+    cfg.frames_per_second = fps;
+    sim::TrafficSink sink{scheduler, medium, {3, 0}, cfg.sink_mac};
+    sim::TrafficSource source{scheduler, medium, {0, 0}, cfg, Rng{4}};
+    source.start();
+    scheduler.run_until(TimePoint{seconds(5)});
+    return sink.bytes_received();
+  };
+  const auto low = run(50);
+  const auto high = run(400);
+  EXPECT_GT(high, low * 6);
+}
+
+TEST_F(TrafficTest, TwoSourcesShareTheChannel) {
+  sim::TrafficConfig cfg_a;
+  cfg_a.source_mac = MacAddress::from_seed(0xA1);
+  cfg_a.sink_mac = MacAddress::from_seed(0xA2);
+  cfg_a.frames_per_second = 400;
+  sim::TrafficConfig cfg_b;
+  cfg_b.source_mac = MacAddress::from_seed(0xB1);
+  cfg_b.sink_mac = MacAddress::from_seed(0xB2);
+  cfg_b.frames_per_second = 400;
+
+  sim::TrafficSink sink_a{scheduler_, medium_, {3, 0}, cfg_a.sink_mac};
+  sim::TrafficSink sink_b{scheduler_, medium_, {0, 3}, cfg_b.sink_mac};
+  sim::TrafficSource src_a{scheduler_, medium_, {0, 0}, cfg_a, Rng{5}};
+  sim::TrafficSource src_b{scheduler_, medium_, {1, 0}, cfg_b, Rng{6}};
+  src_a.start();
+  src_b.start();
+  scheduler_.run_until(TimePoint{seconds(5)});
+
+  // CSMA shares the medium: both flows make progress and loss stays low.
+  EXPECT_GT(sink_a.frames_received(), 1000u);
+  EXPECT_GT(sink_b.frames_received(), 1000u);
+  const auto delivered = src_a.frames_delivered() + src_b.frames_delivered();
+  const auto failed = src_a.frames_failed() + src_b.frames_failed();
+  EXPECT_LT(static_cast<double>(failed), 0.02 * static_cast<double>(delivered + failed));
+}
+
+// ---------------------------------------------------------------------------
+// Scan list (§4.1)
+// ---------------------------------------------------------------------------
+
+class ScanListTest : public ::testing::Test {
+ protected:
+  sim::Scheduler scheduler_;
+  sim::Medium medium_{scheduler_, phy::Channel{}, Rng{1}};
+};
+
+TEST_F(ScanListTest, HiddenWiLeDevicesStayOffTheList) {
+  core::ScanListModel phone{scheduler_, medium_, {0, 0}};
+
+  std::vector<std::unique_ptr<core::Sender>> sensors;
+  Rng seeder{2};
+  for (int i = 0; i < 8; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = 100 + i;
+    cfg.period = seconds(1);
+    cfg.wake_jitter = msec(30);
+    sensors.push_back(std::make_unique<core::Sender>(
+        scheduler_, medium_, sim::Position{1.0 + i * 0.3, 1}, cfg, seeder.fork()));
+    sensors.back()->start_duty_cycle([] { return Bytes{1}; });
+  }
+  scheduler_.run_until(TimePoint{seconds(10)});
+  for (auto& s : sensors) s->stop_duty_cycle();
+
+  // The user's list is empty; the OS counted the hidden BSSIDs though.
+  EXPECT_TRUE(phone.visible().empty());
+  EXPECT_EQ(phone.hidden_networks(), 8u);
+  EXPECT_GT(phone.beacons_processed(), 50u);
+}
+
+TEST_F(ScanListTest, SpoofedSsidDevicesSpamTheList) {
+  core::ScanListModel phone{scheduler_, medium_, {0, 0}};
+
+  std::vector<std::unique_ptr<core::Sender>> sensors;
+  Rng seeder{3};
+  for (int i = 0; i < 8; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = 200 + i;
+    cfg.period = seconds(1);
+    cfg.wake_jitter = msec(30);
+    cfg.spoofed_ssid = "IoT-Sensor-" + std::to_string(i);
+    sensors.push_back(std::make_unique<core::Sender>(
+        scheduler_, medium_, sim::Position{1.0 + i * 0.3, 1}, cfg, seeder.fork()));
+    sensors.back()->start_duty_cycle([] { return Bytes{1}; });
+  }
+  scheduler_.run_until(TimePoint{seconds(10)});
+  for (auto& s : sensors) s->stop_duty_cycle();
+
+  // Exactly the §4.1 nightmare: eight junk entries in the user's list.
+  EXPECT_EQ(phone.visible().size(), 8u);
+}
+
+TEST_F(ScanListTest, RealApListedWithMetadata) {
+  core::ScanListModel phone{scheduler_, medium_, {2, 0}};
+  ap::AccessPointConfig ap_cfg;
+  ap::AccessPoint ap{scheduler_, medium_, {0, 0}, ap_cfg, Rng{4}};
+  ap.start();
+  scheduler_.run_until(TimePoint{seconds(2)});
+
+  const auto list = phone.visible();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].ssid, ap_cfg.ssid);
+  EXPECT_EQ(list[0].bssid, ap_cfg.bssid);
+  EXPECT_TRUE(list[0].rsn_protected);
+  EXPECT_GT(list[0].beacons, 10u);
+  EXPECT_LT(list[0].rssi_dbm, 0.0);
+}
+
+TEST_F(ScanListTest, VisibleSortedByRssi) {
+  core::ScanListModel phone{scheduler_, medium_, {0, 0}};
+  ap::AccessPointConfig near_cfg;
+  near_cfg.ssid = "NearNet";
+  near_cfg.bssid = MacAddress::from_seed(1);
+  ap::AccessPointConfig far_cfg;
+  far_cfg.ssid = "FarNet";
+  far_cfg.bssid = MacAddress::from_seed(2);
+  ap::AccessPoint near_ap{scheduler_, medium_, {1, 0}, near_cfg, Rng{5}};
+  ap::AccessPoint far_ap{scheduler_, medium_, {20, 0}, far_cfg, Rng{6}};
+  near_ap.start();
+  far_ap.start();
+  scheduler_.run_until(TimePoint{seconds(2)});
+
+  const auto list = phone.visible();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].ssid, "NearNet");
+  EXPECT_EQ(list[1].ssid, "FarNet");
+}
+
+}  // namespace
+}  // namespace wile

@@ -1,0 +1,139 @@
+// wile_inspect — decode a pcap capture of Wi-LE traffic.
+//
+// The tcpdump of this repository: reads a classic pcap file (as written
+// by the simulator's CaptureTap, or by a real monitor-mode card using
+// LINKTYPE_IEEE802_11) and prints one line per frame, decoding Wi-LE
+// vendor elements when present.
+//
+// Usage:
+//   wile_inspect <capture.pcap> [--key <32 hex chars>] [--wile-only]
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "ble/pdu.hpp"
+#include "dot11/frame.hpp"
+#include "dot11/mgmt.hpp"
+#include "util/hex.hpp"
+#include "util/pcap.hpp"
+#include "wile/codec.hpp"
+
+using namespace wile;
+
+namespace {
+
+void print_wifi_frame(double t, BytesView frame, const core::Codec& codec,
+                      bool wile_only) {
+  if (dot11::is_control_frame(frame)) {
+    if (wile_only) return;
+    if (auto ack = dot11::parse_ack(frame)) {
+      std::printf("%10.6f  ctrl/ack       RA %s%s\n", t, ack->receiver.to_string().c_str(),
+                  ack->fcs_ok ? "" : "  [BAD FCS]");
+      return;
+    }
+    if (auto poll = dot11::parse_ps_poll(frame)) {
+      std::printf("%10.6f  ctrl/ps-poll   AID %u  BSSID %s\n", t, poll->aid,
+                  poll->bssid.to_string().c_str());
+      return;
+    }
+    std::printf("%10.6f  ctrl/?         %zu bytes\n", t, frame.size());
+    return;
+  }
+
+  auto parsed = dot11::parse_mpdu(frame);
+  if (!parsed) {
+    if (!wile_only) std::printf("%10.6f  <unparseable %zu bytes>\n", t, frame.size());
+    return;
+  }
+
+  // Wi-LE content, if any.
+  std::string wile_note;
+  if (parsed->header.fc.is_mgmt(dot11::MgmtSubtype::Beacon)) {
+    if (auto beacon = dot11::Beacon::decode(parsed->body)) {
+      for (const core::Fragment& f : codec.decode_all(beacon->ies)) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "  WiLE dev=%#x seq=%u frag=%u/%u type=%u data=%s", f.device_id,
+                      f.sequence, f.frag_index + 1, f.frag_count,
+                      static_cast<unsigned>(f.type),
+                      to_hex(BytesView{f.data.data(),
+                                       std::min<std::size_t>(f.data.size(), 16)})
+                          .c_str());
+        wile_note += buf;
+      }
+      const auto ssid = dot11::parse_ssid_ie(beacon->ies);
+      if (ssid && !ssid->empty()) {
+        if (auto stuffed = core::decode_ssid_stuffed(*ssid)) {
+          wile_note += "  [SSID-stuffed dev=" + std::to_string(stuffed->device_id) + "]";
+        }
+      }
+    }
+  }
+  if (wile_only && wile_note.empty()) return;
+
+  std::printf("%10.6f  %-14s A1 %s  A2 %s  seq %u  %zuB%s%s\n", t,
+              parsed->header.fc.describe().c_str(), parsed->header.addr1.to_string().c_str(),
+              parsed->header.addr2.to_string().c_str(), parsed->header.sequence_number(),
+              frame.size(), parsed->fcs_ok ? "" : "  [BAD FCS]", wile_note.c_str());
+}
+
+void print_ble_frame(double t, BytesView frame) {
+  for (std::uint8_t channel : ble::kAdvChannels) {
+    auto air = ble::parse_air_packet(frame, channel);
+    if (!air || !air->crc_ok) continue;
+    if (auto pdu = ble::AdvertisingPdu::decode(air->pdu)) {
+      std::printf("%10.6f  ble/adv ch%u    AdvA %s  %zuB adv data\n", t, channel,
+                  pdu->advertiser.to_string().c_str(), pdu->adv_data.size());
+      return;
+    }
+  }
+  std::printf("%10.6f  ble/?          %zu bytes\n", t, frame.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <capture.pcap> [--key <32 hex chars>] [--wile-only]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::optional<Bytes> key;
+  bool wile_only = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--key") == 0 && i + 1 < argc) {
+      key = from_hex(argv[++i]);
+      if (!key || key->size() != 16) {
+        std::fprintf(stderr, "error: --key expects 32 hex characters\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--wile-only") == 0) {
+      wile_only = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const auto capture = read_pcap_file(path);
+  if (!capture) {
+    std::fprintf(stderr, "error: cannot read %s as a pcap capture\n", path.c_str());
+    return 1;
+  }
+
+  const core::Codec codec = key ? core::Codec{*key} : core::Codec{};
+  std::printf("# %s: %zu frame(s), link type %u\n", path.c_str(),
+              capture->records.size(), static_cast<unsigned>(capture->link_type));
+  for (const PcapRecord& rec : capture->records) {
+    const double t = to_seconds(rec.timestamp.since_epoch());
+    if (capture->link_type == PcapLinkType::BluetoothLeLl) {
+      print_ble_frame(t, rec.frame);
+    } else {
+      print_wifi_frame(t, rec.frame, codec, wile_only);
+    }
+  }
+  return 0;
+}
