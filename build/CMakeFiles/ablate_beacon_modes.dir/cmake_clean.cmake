@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_beacon_modes.dir/bench/ablate_beacon_modes.cpp.o"
+  "CMakeFiles/ablate_beacon_modes.dir/bench/ablate_beacon_modes.cpp.o.d"
+  "bench/ablate_beacon_modes"
+  "bench/ablate_beacon_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_beacon_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

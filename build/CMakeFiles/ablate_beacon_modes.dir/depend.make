@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_beacon_modes.
+# This may be replaced when dependencies are built.

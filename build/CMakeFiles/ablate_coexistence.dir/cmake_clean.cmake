@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_coexistence.dir/bench/ablate_coexistence.cpp.o"
+  "CMakeFiles/ablate_coexistence.dir/bench/ablate_coexistence.cpp.o.d"
+  "bench/ablate_coexistence"
+  "bench/ablate_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_collisions.dir/bench/ablate_collisions.cpp.o"
+  "CMakeFiles/ablate_collisions.dir/bench/ablate_collisions.cpp.o.d"
+  "bench/ablate_collisions"
+  "bench/ablate_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_payload.dir/bench/ablate_payload.cpp.o"
+  "CMakeFiles/ablate_payload.dir/bench/ablate_payload.cpp.o.d"
+  "bench/ablate_payload"
+  "bench/ablate_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

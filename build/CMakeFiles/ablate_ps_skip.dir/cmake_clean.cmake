@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ps_skip.dir/bench/ablate_ps_skip.cpp.o"
+  "CMakeFiles/ablate_ps_skip.dir/bench/ablate_ps_skip.cpp.o.d"
+  "bench/ablate_ps_skip"
+  "bench/ablate_ps_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ps_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_range_reliability.dir/bench/ablate_range_reliability.cpp.o"
+  "CMakeFiles/ablate_range_reliability.dir/bench/ablate_range_reliability.cpp.o.d"
+  "bench/ablate_range_reliability"
+  "bench/ablate_range_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_range_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reliability_modes.dir/bench/ablate_reliability_modes.cpp.o"
+  "CMakeFiles/ablate_reliability_modes.dir/bench/ablate_reliability_modes.cpp.o.d"
+  "bench/ablate_reliability_modes"
+  "bench/ablate_reliability_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reliability_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_twoway.dir/bench/ablate_twoway.cpp.o"
+  "CMakeFiles/ablate_twoway.dir/bench/ablate_twoway.cpp.o.d"
+  "bench/ablate_twoway"
+  "bench/ablate_twoway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_twoway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_frames.dir/bench/assoc_frames.cpp.o"
+  "CMakeFiles/assoc_frames.dir/bench/assoc_frames.cpp.o.d"
+  "bench/assoc_frames"
+  "bench/assoc_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_traces.dir/bench/fig3_traces.cpp.o"
+  "CMakeFiles/fig3_traces.dir/bench/fig3_traces.cpp.o.d"
+  "bench/fig3_traces"
+  "bench/fig3_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

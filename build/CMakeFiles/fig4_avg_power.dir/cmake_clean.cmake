@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_avg_power.dir/bench/fig4_avg_power.cpp.o"
+  "CMakeFiles/fig4_avg_power.dir/bench/fig4_avg_power.cpp.o.d"
+  "bench/fig4_avg_power"
+  "bench/fig4_avg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_avg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_energy_per_bit.dir/bench/phy_energy_per_bit.cpp.o"
+  "CMakeFiles/phy_energy_per_bit.dir/bench/phy_energy_per_bit.cpp.o.d"
+  "bench/phy_energy_per_bit"
+  "bench/phy_energy_per_bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_energy_per_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_energy.dir/bench/table1_energy.cpp.o"
+  "CMakeFiles/table1_energy.dir/bench/table1_energy.cpp.o.d"
+  "bench/table1_energy"
+  "bench/table1_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_sensors.dir/farm_sensors.cpp.o"
+  "CMakeFiles/farm_sensors.dir/farm_sensors.cpp.o.d"
+  "farm_sensors"
+  "farm_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_bridge.dir/gateway_bridge.cpp.o"
+  "CMakeFiles/gateway_bridge.dir/gateway_bridge.cpp.o.d"
+  "gateway_bridge"
+  "gateway_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

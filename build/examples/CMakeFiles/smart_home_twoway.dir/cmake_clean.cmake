@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_twoway.dir/smart_home_twoway.cpp.o"
+  "CMakeFiles/smart_home_twoway.dir/smart_home_twoway.cpp.o.d"
+  "smart_home_twoway"
+  "smart_home_twoway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_twoway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

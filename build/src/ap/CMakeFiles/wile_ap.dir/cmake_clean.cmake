@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_ap.dir/access_point.cpp.o"
+  "CMakeFiles/wile_ap.dir/access_point.cpp.o.d"
+  "libwile_ap.a"
+  "libwile_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwile_ap.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_ble.dir/advertiser.cpp.o"
+  "CMakeFiles/wile_ble.dir/advertiser.cpp.o.d"
+  "CMakeFiles/wile_ble.dir/link.cpp.o"
+  "CMakeFiles/wile_ble.dir/link.cpp.o.d"
+  "CMakeFiles/wile_ble.dir/pdu.cpp.o"
+  "CMakeFiles/wile_ble.dir/pdu.cpp.o.d"
+  "libwile_ble.a"
+  "libwile_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/aes_modes.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/aes_modes.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/aes_modes.cpp.o.d"
+  "/root/repo/src/crypto/crc.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/crc.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/crc.cpp.o.d"
+  "/root/repo/src/crypto/hmac_sha1.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/hmac_sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/hmac_sha1.cpp.o.d"
+  "/root/repo/src/crypto/pbkdf2.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/pbkdf2.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/pbkdf2.cpp.o.d"
+  "/root/repo/src/crypto/prf80211.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/prf80211.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/prf80211.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/wile_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/wile_crypto.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

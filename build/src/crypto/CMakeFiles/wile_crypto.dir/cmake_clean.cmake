@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_crypto.dir/aead.cpp.o"
+  "CMakeFiles/wile_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/wile_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/aes_modes.cpp.o"
+  "CMakeFiles/wile_crypto.dir/aes_modes.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/crc.cpp.o"
+  "CMakeFiles/wile_crypto.dir/crc.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/hmac_sha1.cpp.o"
+  "CMakeFiles/wile_crypto.dir/hmac_sha1.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/pbkdf2.cpp.o"
+  "CMakeFiles/wile_crypto.dir/pbkdf2.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/prf80211.cpp.o"
+  "CMakeFiles/wile_crypto.dir/prf80211.cpp.o.d"
+  "CMakeFiles/wile_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/wile_crypto.dir/sha1.cpp.o.d"
+  "libwile_crypto.a"
+  "libwile_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

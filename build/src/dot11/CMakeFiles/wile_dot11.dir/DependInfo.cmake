@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dot11/ccmp.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/ccmp.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/ccmp.cpp.o.d"
+  "/root/repo/src/dot11/eapol.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/eapol.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/eapol.cpp.o.d"
+  "/root/repo/src/dot11/frame.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/frame.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/frame.cpp.o.d"
+  "/root/repo/src/dot11/frame_control.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/frame_control.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/frame_control.cpp.o.d"
+  "/root/repo/src/dot11/ie.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/ie.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/ie.cpp.o.d"
+  "/root/repo/src/dot11/mac_header.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/mac_header.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/mac_header.cpp.o.d"
+  "/root/repo/src/dot11/mgmt.cpp" "src/dot11/CMakeFiles/wile_dot11.dir/mgmt.cpp.o" "gcc" "src/dot11/CMakeFiles/wile_dot11.dir/mgmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wile_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_dot11.dir/ccmp.cpp.o"
+  "CMakeFiles/wile_dot11.dir/ccmp.cpp.o.d"
+  "CMakeFiles/wile_dot11.dir/eapol.cpp.o"
+  "CMakeFiles/wile_dot11.dir/eapol.cpp.o.d"
+  "CMakeFiles/wile_dot11.dir/frame.cpp.o"
+  "CMakeFiles/wile_dot11.dir/frame.cpp.o.d"
+  "CMakeFiles/wile_dot11.dir/frame_control.cpp.o"
+  "CMakeFiles/wile_dot11.dir/frame_control.cpp.o.d"
+  "CMakeFiles/wile_dot11.dir/ie.cpp.o"
+  "CMakeFiles/wile_dot11.dir/ie.cpp.o.d"
+  "CMakeFiles/wile_dot11.dir/mac_header.cpp.o"
+  "CMakeFiles/wile_dot11.dir/mac_header.cpp.o.d"
+  "CMakeFiles/wile_dot11.dir/mgmt.cpp.o"
+  "CMakeFiles/wile_dot11.dir/mgmt.cpp.o.d"
+  "libwile_dot11.a"
+  "libwile_dot11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_dot11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

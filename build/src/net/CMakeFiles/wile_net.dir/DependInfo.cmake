@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cpp" "src/net/CMakeFiles/wile_net.dir/arp.cpp.o" "gcc" "src/net/CMakeFiles/wile_net.dir/arp.cpp.o.d"
+  "/root/repo/src/net/dhcp.cpp" "src/net/CMakeFiles/wile_net.dir/dhcp.cpp.o" "gcc" "src/net/CMakeFiles/wile_net.dir/dhcp.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/wile_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/wile_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/llc.cpp" "src/net/CMakeFiles/wile_net.dir/llc.cpp.o" "gcc" "src/net/CMakeFiles/wile_net.dir/llc.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/wile_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/wile_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

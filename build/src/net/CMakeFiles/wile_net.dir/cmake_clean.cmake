@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_net.dir/arp.cpp.o"
+  "CMakeFiles/wile_net.dir/arp.cpp.o.d"
+  "CMakeFiles/wile_net.dir/dhcp.cpp.o"
+  "CMakeFiles/wile_net.dir/dhcp.cpp.o.d"
+  "CMakeFiles/wile_net.dir/ipv4.cpp.o"
+  "CMakeFiles/wile_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/wile_net.dir/llc.cpp.o"
+  "CMakeFiles/wile_net.dir/llc.cpp.o.d"
+  "CMakeFiles/wile_net.dir/udp.cpp.o"
+  "CMakeFiles/wile_net.dir/udp.cpp.o.d"
+  "libwile_net.a"
+  "libwile_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/airtime.cpp" "src/phy/CMakeFiles/wile_phy.dir/airtime.cpp.o" "gcc" "src/phy/CMakeFiles/wile_phy.dir/airtime.cpp.o.d"
+  "/root/repo/src/phy/ble_phy.cpp" "src/phy/CMakeFiles/wile_phy.dir/ble_phy.cpp.o" "gcc" "src/phy/CMakeFiles/wile_phy.dir/ble_phy.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/wile_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/wile_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/energy.cpp" "src/phy/CMakeFiles/wile_phy.dir/energy.cpp.o" "gcc" "src/phy/CMakeFiles/wile_phy.dir/energy.cpp.o.d"
+  "/root/repo/src/phy/rates.cpp" "src/phy/CMakeFiles/wile_phy.dir/rates.cpp.o" "gcc" "src/phy/CMakeFiles/wile_phy.dir/rates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

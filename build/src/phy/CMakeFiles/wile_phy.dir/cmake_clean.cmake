@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_phy.dir/airtime.cpp.o"
+  "CMakeFiles/wile_phy.dir/airtime.cpp.o.d"
+  "CMakeFiles/wile_phy.dir/ble_phy.cpp.o"
+  "CMakeFiles/wile_phy.dir/ble_phy.cpp.o.d"
+  "CMakeFiles/wile_phy.dir/channel.cpp.o"
+  "CMakeFiles/wile_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/wile_phy.dir/energy.cpp.o"
+  "CMakeFiles/wile_phy.dir/energy.cpp.o.d"
+  "CMakeFiles/wile_phy.dir/rates.cpp.o"
+  "CMakeFiles/wile_phy.dir/rates.cpp.o.d"
+  "libwile_phy.a"
+  "libwile_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_power.dir/devices.cpp.o"
+  "CMakeFiles/wile_power.dir/devices.cpp.o.d"
+  "CMakeFiles/wile_power.dir/timeline.cpp.o"
+  "CMakeFiles/wile_power.dir/timeline.cpp.o.d"
+  "CMakeFiles/wile_power.dir/trace_recorder.cpp.o"
+  "CMakeFiles/wile_power.dir/trace_recorder.cpp.o.d"
+  "libwile_power.a"
+  "libwile_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

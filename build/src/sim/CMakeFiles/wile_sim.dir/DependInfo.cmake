@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/csma.cpp" "src/sim/CMakeFiles/wile_sim.dir/csma.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/csma.cpp.o.d"
+  "/root/repo/src/sim/medium.cpp" "src/sim/CMakeFiles/wile_sim.dir/medium.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/medium.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/wile_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/wile_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wile_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/wile_dot11.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wile_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_sim.dir/csma.cpp.o"
+  "CMakeFiles/wile_sim.dir/csma.cpp.o.d"
+  "CMakeFiles/wile_sim.dir/medium.cpp.o"
+  "CMakeFiles/wile_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/wile_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/wile_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wile_sim.dir/traffic.cpp.o"
+  "CMakeFiles/wile_sim.dir/traffic.cpp.o.d"
+  "libwile_sim.a"
+  "libwile_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_sta.dir/station.cpp.o"
+  "CMakeFiles/wile_sta.dir/station.cpp.o.d"
+  "libwile_sta.a"
+  "libwile_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

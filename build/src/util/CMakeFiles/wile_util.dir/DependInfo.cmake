@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cpp" "src/util/CMakeFiles/wile_util.dir/byte_buffer.cpp.o" "gcc" "src/util/CMakeFiles/wile_util.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/util/CMakeFiles/wile_util.dir/hex.cpp.o" "gcc" "src/util/CMakeFiles/wile_util.dir/hex.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/wile_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/wile_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/mac_address.cpp" "src/util/CMakeFiles/wile_util.dir/mac_address.cpp.o" "gcc" "src/util/CMakeFiles/wile_util.dir/mac_address.cpp.o.d"
+  "/root/repo/src/util/pcap.cpp" "src/util/CMakeFiles/wile_util.dir/pcap.cpp.o" "gcc" "src/util/CMakeFiles/wile_util.dir/pcap.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/wile_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/wile_util.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

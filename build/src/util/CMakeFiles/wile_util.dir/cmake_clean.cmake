@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/wile_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/wile_util.dir/hex.cpp.o"
+  "CMakeFiles/wile_util.dir/hex.cpp.o.d"
+  "CMakeFiles/wile_util.dir/log.cpp.o"
+  "CMakeFiles/wile_util.dir/log.cpp.o.d"
+  "CMakeFiles/wile_util.dir/mac_address.cpp.o"
+  "CMakeFiles/wile_util.dir/mac_address.cpp.o.d"
+  "CMakeFiles/wile_util.dir/pcap.cpp.o"
+  "CMakeFiles/wile_util.dir/pcap.cpp.o.d"
+  "CMakeFiles/wile_util.dir/rng.cpp.o"
+  "CMakeFiles/wile_util.dir/rng.cpp.o.d"
+  "libwile_util.a"
+  "libwile_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

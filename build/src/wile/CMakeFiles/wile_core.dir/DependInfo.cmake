@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wile/codec.cpp" "src/wile/CMakeFiles/wile_core.dir/codec.cpp.o" "gcc" "src/wile/CMakeFiles/wile_core.dir/codec.cpp.o.d"
+  "/root/repo/src/wile/controller.cpp" "src/wile/CMakeFiles/wile_core.dir/controller.cpp.o" "gcc" "src/wile/CMakeFiles/wile_core.dir/controller.cpp.o.d"
+  "/root/repo/src/wile/gateway.cpp" "src/wile/CMakeFiles/wile_core.dir/gateway.cpp.o" "gcc" "src/wile/CMakeFiles/wile_core.dir/gateway.cpp.o.d"
+  "/root/repo/src/wile/receiver.cpp" "src/wile/CMakeFiles/wile_core.dir/receiver.cpp.o" "gcc" "src/wile/CMakeFiles/wile_core.dir/receiver.cpp.o.d"
+  "/root/repo/src/wile/scan_list.cpp" "src/wile/CMakeFiles/wile_core.dir/scan_list.cpp.o" "gcc" "src/wile/CMakeFiles/wile_core.dir/scan_list.cpp.o.d"
+  "/root/repo/src/wile/sender.cpp" "src/wile/CMakeFiles/wile_core.dir/sender.cpp.o" "gcc" "src/wile/CMakeFiles/wile_core.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wile_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wile_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/wile_dot11.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wile_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wile_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/wile_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wile_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

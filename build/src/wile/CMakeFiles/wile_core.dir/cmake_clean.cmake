@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_core.dir/codec.cpp.o"
+  "CMakeFiles/wile_core.dir/codec.cpp.o.d"
+  "CMakeFiles/wile_core.dir/controller.cpp.o"
+  "CMakeFiles/wile_core.dir/controller.cpp.o.d"
+  "CMakeFiles/wile_core.dir/gateway.cpp.o"
+  "CMakeFiles/wile_core.dir/gateway.cpp.o.d"
+  "CMakeFiles/wile_core.dir/receiver.cpp.o"
+  "CMakeFiles/wile_core.dir/receiver.cpp.o.d"
+  "CMakeFiles/wile_core.dir/scan_list.cpp.o"
+  "CMakeFiles/wile_core.dir/scan_list.cpp.o.d"
+  "CMakeFiles/wile_core.dir/sender.cpp.o"
+  "CMakeFiles/wile_core.dir/sender.cpp.o.d"
+  "libwile_core.a"
+  "libwile_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

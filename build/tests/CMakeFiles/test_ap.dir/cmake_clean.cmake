@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ap.dir/test_ap.cpp.o"
+  "CMakeFiles/test_ap.dir/test_ap.cpp.o.d"
+  "test_ap"
+  "test_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

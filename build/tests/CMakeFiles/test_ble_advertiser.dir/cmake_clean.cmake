@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ble_advertiser.dir/test_ble_advertiser.cpp.o"
+  "CMakeFiles/test_ble_advertiser.dir/test_ble_advertiser.cpp.o.d"
+  "test_ble_advertiser"
+  "test_ble_advertiser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ble_advertiser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ble_advertiser.
+# This may be replaced when dependencies are built.

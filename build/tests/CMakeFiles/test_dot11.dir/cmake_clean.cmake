@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dot11.dir/test_dot11.cpp.o"
+  "CMakeFiles/test_dot11.dir/test_dot11.cpp.o.d"
+  "test_dot11"
+  "test_dot11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dot11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dot11.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_ble.dir/test_integration_ble.cpp.o"
+  "CMakeFiles/test_integration_ble.dir/test_integration_ble.cpp.o.d"
+  "test_integration_ble"
+  "test_integration_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

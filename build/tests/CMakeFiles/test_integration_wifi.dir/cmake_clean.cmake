@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_wifi.dir/test_integration_wifi.cpp.o"
+  "CMakeFiles/test_integration_wifi.dir/test_integration_wifi.cpp.o.d"
+  "test_integration_wifi"
+  "test_integration_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

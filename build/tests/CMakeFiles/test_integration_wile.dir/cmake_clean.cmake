@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_wile.dir/test_integration_wile.cpp.o"
+  "CMakeFiles/test_integration_wile.dir/test_integration_wile.cpp.o.d"
+  "test_integration_wile"
+  "test_integration_wile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_wile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

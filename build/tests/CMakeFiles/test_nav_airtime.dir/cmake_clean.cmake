@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nav_airtime.dir/test_nav_airtime.cpp.o"
+  "CMakeFiles/test_nav_airtime.dir/test_nav_airtime.cpp.o.d"
+  "test_nav_airtime"
+  "test_nav_airtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nav_airtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcap_roundtrip.dir/test_pcap_roundtrip.cpp.o"
+  "CMakeFiles/test_pcap_roundtrip.dir/test_pcap_roundtrip.cpp.o.d"
+  "test_pcap_roundtrip"
+  "test_pcap_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcap_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliable_mode.dir/test_reliable_mode.cpp.o"
+  "CMakeFiles/test_reliable_mode.dir/test_reliable_mode.cpp.o.d"
+  "test_reliable_mode"
+  "test_reliable_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliable_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

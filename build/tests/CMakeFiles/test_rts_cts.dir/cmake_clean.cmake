@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rts_cts.dir/test_rts_cts.cpp.o"
+  "CMakeFiles/test_rts_cts.dir/test_rts_cts.cpp.o.d"
+  "test_rts_cts"
+  "test_rts_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rts_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssid_stuffing.dir/test_ssid_stuffing.cpp.o"
+  "CMakeFiles/test_ssid_stuffing.dir/test_ssid_stuffing.cpp.o.d"
+  "test_ssid_stuffing"
+  "test_ssid_stuffing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssid_stuffing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

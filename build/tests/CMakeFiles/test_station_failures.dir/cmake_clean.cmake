@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_station_failures.dir/test_station_failures.cpp.o"
+  "CMakeFiles/test_station_failures.dir/test_station_failures.cpp.o.d"
+  "test_station_failures"
+  "test_station_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_station_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

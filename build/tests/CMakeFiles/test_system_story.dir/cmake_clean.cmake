@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_story.dir/test_system_story.cpp.o"
+  "CMakeFiles/test_system_story.dir/test_system_story.cpp.o.d"
+  "test_system_story"
+  "test_system_story.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_story.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

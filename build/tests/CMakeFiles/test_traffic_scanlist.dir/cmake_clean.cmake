@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_scanlist.dir/test_traffic_scanlist.cpp.o"
+  "CMakeFiles/test_traffic_scanlist.dir/test_traffic_scanlist.cpp.o.d"
+  "test_traffic_scanlist"
+  "test_traffic_scanlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_scanlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wile_codec.dir/test_wile_codec.cpp.o"
+  "CMakeFiles/test_wile_codec.dir/test_wile_codec.cpp.o.d"
+  "test_wile_codec"
+  "test_wile_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wile_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

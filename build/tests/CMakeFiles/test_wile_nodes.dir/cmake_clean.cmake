@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wile_nodes.dir/test_wile_nodes.cpp.o"
+  "CMakeFiles/test_wile_nodes.dir/test_wile_nodes.cpp.o.d"
+  "test_wile_nodes"
+  "test_wile_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wile_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wile_nodes.
+# This may be replaced when dependencies are built.

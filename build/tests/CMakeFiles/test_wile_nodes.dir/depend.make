@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wile_nodes.
+# This may be replaced when dependencies are built.

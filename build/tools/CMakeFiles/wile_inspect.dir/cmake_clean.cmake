@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wile_inspect.dir/wile_inspect.cpp.o"
+  "CMakeFiles/wile_inspect.dir/wile_inspect.cpp.o.d"
+  "wile_inspect"
+  "wile_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wile_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
