@@ -1,0 +1,183 @@
+// Fault-recovery ablation — robustness beyond the paper's clean-channel
+// assumptions.
+//
+// The full bridge chain (Wi-LE sensor -> gateway monitor -> WPA2 uplink
+// -> AP -> server) runs for 180 s while faults hit it mid-run: the AP
+// crashes for 30 s and a duty-cycled jammer occupies the channel. We
+// sweep the jammer's duty cycle (the fault intensity) and report the
+// end-to-end delivery rate plus how long the self-healing gateway takes
+// to re-associate once the AP returns. The recovery machinery under
+// test: beacon-loss detection, capped-backoff re-association, and the
+// forward retry budget (src/wile/gateway.cpp, src/sta/station.cpp).
+#include <cstdio>
+#include <optional>
+
+#include "ap/access_point.hpp"
+#include "sim/fault.hpp"
+#include "wile/gateway.hpp"
+#include "wile/sender.hpp"
+
+using namespace wile;
+
+namespace {
+
+constexpr int kDurationS = 180;
+constexpr int kOutageStartS = 60;
+constexpr int kOutageEndS = 90;
+
+struct RunResult {
+  std::uint64_t sensor_cycles = 0;
+  std::uint64_t server_datagrams = 0;
+  core::GatewayStats gw{};
+  sim::FaultStats faults{};
+  std::optional<double> recovery_latency_s;  // uplink back after the outage
+  bool uplink_ready_at_end = false;
+};
+
+RunResult run(double jammer_duty, bool ap_outage, bool sensor_csma) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+
+  ap::AccessPointConfig ap_cfg;
+  ap::AccessPoint ap{scheduler, medium, {0, 0}, ap_cfg, Rng{10}};
+  RunResult result;
+  ap.set_uplink_handler(
+      [&](const MacAddress&, const net::Ipv4Header&, const net::UdpDatagram&) {
+        ++result.server_datagrams;
+      });
+  ap.start();
+
+  core::GatewayConfig gw_cfg;
+  gw_cfg.station.mac = MacAddress::from_seed(0x6A7E);
+  core::Gateway gateway{scheduler, medium, {3, 0}, gw_cfg, Rng{20}};
+  gateway.start({});
+
+  core::SenderConfig sensor_cfg;
+  sensor_cfg.device_id = 0x501;
+  sensor_cfg.period = seconds(2);
+  // Real sleep clocks jitter; without this the 2 s period phase-locks to
+  // the jammer's 10 ms burst grid and every in-window cycle sees the
+  // same (all-or-nothing) fate.
+  sensor_cfg.wake_jitter = msec(50);
+  sensor_cfg.use_csma = sensor_csma;
+  core::Sender sensor{scheduler, medium, {5, 0}, sensor_cfg, Rng{30}};
+  scheduler.schedule_at(TimePoint{seconds(10)}, [&] {
+    sensor.start_duty_cycle([] { return Bytes{'o', 'k'}; });
+  });
+
+  sim::FaultInjector fi{scheduler, medium, Rng{7}};
+  if (ap_outage) {
+    fi.window(TimePoint{seconds(kOutageStartS)}, seconds(kOutageEndS - kOutageStartS),
+              [&] { ap.stop(); }, [&] { ap.start(); });
+  }
+  if (jammer_duty > 0.0) {
+    sim::JammerConfig jam;
+    jam.position = {4, 1};
+    jam.duty_cycle = jammer_duty;
+    fi.jammer(TimePoint{seconds(40)}, seconds(80), jam);
+  }
+
+  // Recovery probe: 100 ms resolution from the moment the AP returns.
+  for (int i = 0; i < (kDurationS - kOutageEndS) * 10; ++i) {
+    const TimePoint at{seconds(kOutageEndS) + msec(100 * i)};
+    scheduler.schedule_at(at, [&, at] {
+      if (!result.recovery_latency_s && gateway.uplink_ready()) {
+        result.recovery_latency_s = to_seconds(at - TimePoint{seconds(kOutageEndS)});
+      }
+    });
+  }
+
+  scheduler.run_until(TimePoint{seconds(kDurationS)});
+  sensor.stop_duty_cycle();
+
+  result.sensor_cycles = sensor.cycles_run();
+  result.gw = gateway.stats();
+  result.faults = fi.stats();
+  result.uplink_ready_at_end = gateway.uplink_ready();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== fault recovery: delivery rate vs fault intensity ===\n");
+  std::printf("(%d s run, Wi-LE sensor at 0.5 Hz; AP down %d-%d s; jammer on 40-120 s "
+              "with the duty cycle swept; gateway self-heals via beacon-loss detection "
+              "+ capped-backoff re-association + forward retries)\n\n",
+              kDurationS, kOutageStartS, kOutageEndS);
+  std::printf("  %-18s | %-14s | %-14s | %-10s | %-8s | %-7s | %-7s | %-7s\n",
+              "fault intensity", "rate (CSMA)", "rate (raw)", "recovery", "reassoc",
+              "retries", "dropped", "uplink");
+  std::printf("  -------------------+----------------+----------------+------------+----"
+              "------+---------+---------+--------\n");
+
+  bool ok = true;
+  struct Arm {
+    const char* label;
+    double duty;
+    bool outage;
+  };
+  const Arm arms[] = {
+      {"none (baseline)", 0.00, false},
+      {"outage only", 0.00, true},
+      {"outage + 10% jam", 0.10, true},
+      {"outage + 25% jam", 0.25, true},
+      {"outage + 50% jam", 0.50, true},
+      {"outage + 80% jam", 0.80, true},
+  };
+  std::optional<double> raw_at_none;
+  std::optional<double> raw_at_max;
+  for (const Arm& arm : arms) {
+    const RunResult r = run(arm.duty, arm.outage, /*sensor_csma=*/true);
+    const RunResult raw = run(arm.duty, arm.outage, /*sensor_csma=*/false);
+    const auto rate_of = [](const RunResult& x) {
+      return x.sensor_cycles > 0 ? 100.0 * static_cast<double>(x.gw.forwarded) /
+                                       static_cast<double>(x.sensor_cycles)
+                                 : 0.0;
+    };
+    const double rate = rate_of(r);
+    const double raw_rate = rate_of(raw);
+    if (arm.duty == 0.0 && arm.outage) raw_at_none = raw_rate;
+    if (arm.duty >= 0.79) raw_at_max = raw_rate;
+    char recovery[24];
+    if (arm.outage && r.recovery_latency_s) {
+      std::snprintf(recovery, sizeof(recovery), "%8.1f s", *r.recovery_latency_s);
+    } else {
+      std::snprintf(recovery, sizeof(recovery), "%10s", arm.outage ? "never" : "n/a");
+    }
+    const std::uint64_t dropped = r.gw.dropped_queue_full + r.gw.dropped_retry_budget;
+    std::printf("  %-18s | %4llu/%-3llu %4.0f%% | %4llu/%-3llu %4.0f%% | %s | %8llu | "
+                "%7llu | %7llu | %s\n",
+                arm.label, static_cast<unsigned long long>(r.gw.forwarded),
+                static_cast<unsigned long long>(r.sensor_cycles), rate,
+                static_cast<unsigned long long>(raw.gw.forwarded),
+                static_cast<unsigned long long>(raw.sensor_cycles), raw_rate, recovery,
+                static_cast<unsigned long long>(r.gw.reassociations),
+                static_cast<unsigned long long>(r.gw.retries),
+                static_cast<unsigned long long>(dropped),
+                r.uplink_ready_at_end ? "up" : "DOWN");
+
+    // Shape checks: the clean run delivers nearly everything; every
+    // faulted run must end healed (uplink up, >=1 re-association, prompt
+    // recovery) and still deliver the majority of readings.
+    if (!arm.outage && rate < 95.0) ok = false;
+    if (arm.outage) {
+      if (!r.uplink_ready_at_end || r.gw.reassociations < 1) ok = false;
+      if (!r.recovery_latency_s || *r.recovery_latency_s > 20.0) ok = false;
+      if (rate < 50.0) ok = false;
+    }
+  }
+  // The intensity axis must bite somewhere: a carrier-blind sensor loses
+  // measurably more under the heaviest jam than with no jammer at all.
+  if (raw_at_none && raw_at_max && *raw_at_max > *raw_at_none - 10.0) ok = false;
+
+  std::printf("\n  measured: a 30 s AP outage costs at most the readings buffered past "
+              "the queue cap plus the retry budget, not the link — the gateway "
+              "re-associates within seconds of the AP's return (capped 8 s backoff + "
+              "WPA2 connect). A CSMA-polite sensor rides the jammer's idle gaps, so "
+              "its delivery stays flat with intensity; a carrier-blind injector "
+              "degrades with duty cycle — the recovery machinery keeps the uplink "
+              "alive either way.\n");
+  std::printf("\n  shape %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

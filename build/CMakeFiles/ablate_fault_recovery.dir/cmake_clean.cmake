@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fault_recovery.dir/bench/ablate_fault_recovery.cpp.o"
+  "CMakeFiles/ablate_fault_recovery.dir/bench/ablate_fault_recovery.cpp.o.d"
+  "bench/ablate_fault_recovery"
+  "bench/ablate_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

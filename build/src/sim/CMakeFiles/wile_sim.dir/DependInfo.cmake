@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/csma.cpp" "src/sim/CMakeFiles/wile_sim.dir/csma.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/csma.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/wile_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/fault.cpp.o.d"
   "/root/repo/src/sim/medium.cpp" "src/sim/CMakeFiles/wile_sim.dir/medium.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/medium.cpp.o.d"
   "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/wile_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/scheduler.cpp.o.d"
   "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/wile_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/wile_sim.dir/traffic.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/wile_sim.dir/csma.cpp.o"
   "CMakeFiles/wile_sim.dir/csma.cpp.o.d"
+  "CMakeFiles/wile_sim.dir/fault.cpp.o"
+  "CMakeFiles/wile_sim.dir/fault.cpp.o.d"
   "CMakeFiles/wile_sim.dir/medium.cpp.o"
   "CMakeFiles/wile_sim.dir/medium.cpp.o.d"
   "CMakeFiles/wile_sim.dir/scheduler.cpp.o"

@@ -259,4 +259,8 @@ src/wile/CMakeFiles/wile_core.dir/gateway.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/wile/codec.hpp \
- /root/repo/src/wile/message.hpp /root/repo/src/util/log.hpp
+ /root/repo/src/wile/message.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/log.hpp

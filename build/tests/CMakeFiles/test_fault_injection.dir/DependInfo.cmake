@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wile/CMakeFiles/wile_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/wile_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/wile_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ble/CMakeFiles/wile_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wile_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wile_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wile_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/wile_dot11.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wile_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wile_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wile_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -29,16 +29,35 @@ AccessPoint::AccessPoint(sim::Scheduler& scheduler, sim::Medium& medium,
 }
 
 void AccessPoint::start() {
+  down_ = false;
   if (beaconing_) return;
   beaconing_ = true;
   schedule_next_beacon();
 }
 
-bool AccessPoint::rx_enabled() const { return !medium_.transmitting(node_id_); }
+void AccessPoint::stop() {
+  if (down_) return;
+  down_ = true;
+  beaconing_ = false;
+  if (beacon_timer_) {
+    scheduler_.cancel(*beacon_timer_);
+    beacon_timer_.reset();
+  }
+  ++stats_.outages;
+  csma_->drop_queued();
+  // A reboot loses all volatile state: associations, PTKs, PS buffers,
+  // leases. Clients that think they are still associated will find their
+  // frames ignored and must re-associate.
+  clients_.clear();
+  ip_to_mac_.clear();
+}
+
+bool AccessPoint::rx_enabled() const { return !down_ && !medium_.transmitting(node_id_); }
 
 void AccessPoint::schedule_next_beacon() {
   const Duration interval{static_cast<std::int64_t>(config_.beacon_interval_tu) * 1024};
-  scheduler_.schedule_in(interval, [this] {
+  beacon_timer_ = scheduler_.schedule_in(interval, [this] {
+    beacon_timer_.reset();
     if (!beaconing_) return;
     send_beacon();
     schedule_next_beacon();
@@ -78,6 +97,7 @@ void AccessPoint::send_beacon() {
 
 void AccessPoint::send_ack_after_sifs(const MacAddress& to) {
   scheduler_.schedule_in(phy::MacTiming::kSifs, [this, to] {
+    if (down_) return;
     if (medium_.transmitting(node_id_)) {
       // Extremely rare half-duplex clash; nudge the ACK slightly.
       scheduler_.schedule_in(Duration{10}, [this, to] { send_ack_after_sifs(to); });
@@ -95,12 +115,14 @@ void AccessPoint::send_ack_after_sifs(const MacAddress& to) {
 
 void AccessPoint::send_mgmt(MgmtSubtype subtype, const MacAddress& da, BytesView body,
                             bool expect_ack) {
+  if (down_) return;
   const Bytes mpdu = dot11::build_mgmt_mpdu(subtype, da, config_.bssid, config_.bssid,
                                             next_seq(), body);
   csma_->send(mpdu, config_.mgmt_rate, expect_ack, {});
 }
 
 void AccessPoint::send_eapol(const MacAddress& da, const dot11::EapolKeyFrame& frame) {
+  if (down_) return;
   const Bytes llc = net::llc_wrap(net::EtherType::Eapol, frame.encode());
   const Bytes mpdu = dot11::build_data_from_ds(da, config_.bssid, config_.bssid, next_seq(),
                                                llc, /*protected_frame=*/false);
@@ -365,6 +387,7 @@ void AccessPoint::handle_dhcp(const MacAddress& sta, const net::DhcpMessage& msg
     const net::DhcpMessage offer =
         net::DhcpMessage::offer(msg, offered, config_.ip, config_.dhcp_lease_seconds);
     scheduler_.schedule_in(config_.dhcp_offer_delay, [this, sta, llc = reply_llc(offer)] {
+      if (down_) return;
       // DHCP OFFER/ACK go out as broadcast data frames (the client has no
       // committed address yet and sets the broadcast flag).
       const Bytes mpdu =
@@ -381,6 +404,7 @@ void AccessPoint::handle_dhcp(const MacAddress& sta, const net::DhcpMessage& msg
     const net::DhcpMessage ack =
         net::DhcpMessage::ack(msg, assigned, config_.ip, config_.dhcp_lease_seconds);
     scheduler_.schedule_in(config_.dhcp_ack_delay, [this, llc = reply_llc(ack)] {
+      if (down_) return;
       ++stats_.dhcp_acks_sent;
       const Bytes mpdu =
           dot11::build_data_from_ds(MacAddress::broadcast(), config_.bssid, config_.bssid,
@@ -430,6 +454,7 @@ void AccessPoint::update_power_save(const MacAddress& sta, bool ps) {
 }
 
 void AccessPoint::send_downlink_llc(const MacAddress& da, Bytes llc, bool more_data) {
+  if (down_) return;
   auto it = clients_.find(da);
   const bool protect = it != clients_.end() && it->second.ccmp != nullptr;
   Bytes body = protect ? it->second.ccmp->seal(config_.bssid, llc) : std::move(llc);

@@ -78,6 +78,8 @@ struct ApStats {
   std::uint64_t uplink_udp_datagrams = 0;
   std::uint64_t ps_poll_received = 0;
   std::uint64_t buffered_frames_delivered = 0;
+  /// Crash-and-reboot accounting: stop() calls observed.
+  std::uint64_t outages = 0;
 };
 
 class AccessPoint : public sim::MediumClient {
@@ -85,9 +87,19 @@ class AccessPoint : public sim::MediumClient {
   AccessPoint(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
               AccessPointConfig config, Rng rng);
 
-  /// Begin beaconing. Without start() the AP still answers probes (it is
-  /// just silent between them), which some tests exploit.
+  /// Begin beaconing (also restarts after stop()). Without start() the AP
+  /// still answers probes (it is just silent between them), which some
+  /// tests exploit.
   void start();
+
+  /// Take the AP down — power cut or crash. Beaconing stops, the radio
+  /// goes deaf and mute, queued frames are discarded, and all
+  /// association/handshake/lease state is lost, exactly as a reboot
+  /// would lose it. start() brings it back with fresh state; clients must
+  /// re-associate from scratch.
+  void stop();
+
+  [[nodiscard]] bool running() const { return !down_; }
 
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
   [[nodiscard]] const AccessPointConfig& config() const { return config_; }
@@ -171,6 +183,8 @@ class AccessPoint : public sim::MediumClient {
   std::array<std::uint8_t, 16> gtk_{};
   dot11::InfoElement rsn_ie_;
   bool beaconing_ = false;
+  bool down_ = false;
+  std::optional<sim::EventId> beacon_timer_;
   std::uint16_t seq_ = 0;
   std::uint16_t next_aid_ = 1;
   std::uint32_t next_host_ = 0;

@@ -7,6 +7,8 @@
 // derating and self-discharge.
 #pragma once
 
+#include <limits>
+
 #include "util/units.hpp"
 
 namespace wile::power {
@@ -37,10 +39,11 @@ struct BatteryModel {
   }
 
   /// Projected lifetime under a constant average load. Returns seconds;
-  /// callers format as days/years.
+  /// callers format as days/years. Zero (or negative, i.e. harvesting)
+  /// net drain means the cell never empties: +infinity, not 0.
   [[nodiscard]] double lifetime_seconds(Watts average_load) const {
     const Watts total = average_load + self_discharge_power();
-    if (total.value <= 0.0) return 0.0;
+    if (total.value <= 0.0) return std::numeric_limits<double>::infinity();
     return usable_energy().value / total.value;
   }
 

@@ -82,6 +82,12 @@ class Csma {
   /// True when no send is queued or in flight.
   [[nodiscard]] bool idle() const { return !busy_ && queue_.empty(); }
 
+  /// Discard every queued (not yet begun) send without invoking its
+  /// callback. An in-flight transmission still completes — a crashing
+  /// node's final frame leaves the antenna. Used by fault injection
+  /// (AP outage) to silence a node instantly.
+  void drop_queued() { queue_.clear(); }
+
  private:
   struct Pending {
     Bytes mpdu;

@@ -1,0 +1,146 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wile::sim {
+
+// ---------------------------------------------------------------------------
+// Jammer: a MediumClient that transmits undecodable bursts on a fixed
+// cadence while active. It never receives (rx_enabled false) and its
+// garbage frames fail every parser, so its only effect is collisions,
+// CSMA deference and NAV-free airtime occupancy — exactly what a
+// non-802.11 interferer looks like to a WiFi radio.
+// ---------------------------------------------------------------------------
+
+class FaultInjector::Jammer : public MediumClient {
+ public:
+  Jammer(Scheduler& scheduler, Medium& medium, JammerConfig config, FaultStats& stats,
+         Rng rng)
+      : scheduler_(scheduler), medium_(medium), config_(config), stats_(stats) {
+    config_.duty_cycle = std::clamp(config_.duty_cycle, 0.0, 0.95);
+    node_id_ = medium_.attach(this, config_.position);
+    // Garbage payload: random but fixed per jammer, so runs are seeded.
+    garbage_.resize(std::max<std::size_t>(config_.frame_bytes, 4));
+    for (auto& b : garbage_) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+
+  ~Jammer() override { deactivate(); }
+
+  [[nodiscard]] NodeId node_id() const { return node_id_; }
+
+  void activate() {
+    if (active_) return;
+    active_ = true;
+    burst();
+  }
+
+  void deactivate() {
+    active_ = false;
+    if (next_burst_) {
+      scheduler_.cancel(*next_burst_);
+      next_burst_.reset();
+    }
+  }
+
+  // --- sim::MediumClient -----------------------------------------------------
+  void on_frame(const RxFrame&) override {}
+  [[nodiscard]] bool rx_enabled() const override { return false; }
+
+ private:
+  void burst() {
+    next_burst_.reset();
+    if (!active_) return;
+    const auto burst_us = static_cast<std::int64_t>(
+        config_.duty_cycle * static_cast<double>(config_.period.count()));
+    if (burst_us > 0 && !medium_.transmitting(node_id_)) {
+      TxRequest req;
+      req.mpdu = garbage_;
+      req.airtime = Duration{burst_us};
+      req.tx_power_dbm = config_.tx_power_dbm;
+      // No rate: receivers that survive the collision check run the
+      // (irrelevant) non-WiFi PER model and then fail to parse anyway.
+      medium_.transmit(node_id_, std::move(req));
+      ++stats_.jammer_bursts;
+    }
+    next_burst_ = scheduler_.schedule_in(config_.period, [this] { burst(); });
+  }
+
+  Scheduler& scheduler_;
+  Medium& medium_;
+  JammerConfig config_;
+  FaultStats& stats_;
+  NodeId node_id_{};
+  Bytes garbage_;
+  bool active_ = false;
+  std::optional<EventId> next_burst_;
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector.
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(Scheduler& scheduler, Medium& medium, Rng rng)
+    : scheduler_(scheduler), medium_(medium), rng_(rng) {}
+
+FaultInjector::~FaultInjector() {
+  for (EventId id : pending_) scheduler_.cancel(id);
+}
+
+void FaultInjector::window(TimePoint start, Duration duration,
+                           std::function<void()> on_start, std::function<void()> on_end) {
+  if (duration.count() < 0) throw std::invalid_argument("FaultInjector: negative window");
+  ++stats_.windows_scheduled;
+  pending_.push_back(scheduler_.schedule_at(start, [this, on_start = std::move(on_start)] {
+    ++stats_.windows_started;
+    ++stats_.fault_windows_active;
+    if (on_start) on_start();
+  }));
+  pending_.push_back(
+      scheduler_.schedule_at(start + duration, [this, on_end = std::move(on_end)] {
+        ++stats_.windows_ended;
+        --stats_.fault_windows_active;
+        if (on_end) on_end();
+      }));
+}
+
+void FaultInjector::at(TimePoint when, std::function<void()> fn) {
+  pending_.push_back(scheduler_.schedule_at(when, [this, fn = std::move(fn)] {
+    ++stats_.events_fired;
+    if (fn) fn();
+  }));
+}
+
+void FaultInjector::noise_floor_rise(TimePoint start, Duration duration, double delta_db) {
+  window(
+      start, duration,
+      [this, delta_db] { medium_.set_noise_offset_db(medium_.noise_offset_db() + delta_db); },
+      [this, delta_db] {
+        medium_.set_noise_offset_db(medium_.noise_offset_db() - delta_db);
+      });
+}
+
+void FaultInjector::per_multiplier(TimePoint start, Duration duration, double multiplier) {
+  if (multiplier <= 0.0) throw std::invalid_argument("FaultInjector: PER multiplier <= 0");
+  window(
+      start, duration,
+      [this, multiplier] { medium_.set_per_multiplier(medium_.per_multiplier() * multiplier); },
+      [this, multiplier] {
+        medium_.set_per_multiplier(medium_.per_multiplier() / multiplier);
+      });
+}
+
+NodeId FaultInjector::jammer(TimePoint start, Duration duration, JammerConfig config) {
+  jammers_.push_back(
+      std::make_unique<Jammer>(scheduler_, medium_, config, stats_, rng_.fork()));
+  Jammer* j = jammers_.back().get();
+  window(start, duration, [j] { j->activate(); }, [j] { j->deactivate(); });
+  return j->node_id();
+}
+
+void FaultInjector::radio_deaf(TimePoint start, Duration duration, NodeId node) {
+  window(start, duration, [this, node] { medium_.set_rx_blocked(node, true); },
+         [this, node] { medium_.set_rx_blocked(node, false); });
+}
+
+}  // namespace wile::sim

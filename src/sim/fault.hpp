@@ -1,0 +1,114 @@
+// Scriptable, time-windowed fault injection for the simulator.
+//
+// The paper's energy story (Table 1, Fig. 3/4) assumes a clean channel
+// and an always-up AP. Real deployments of unattended IoT devices see
+// none of that: microwave ovens raise the noise floor, duty-cycled
+// jammers shred frames, APs reboot for firmware updates, radios go deaf.
+// The FaultInjector drives such conditions through the existing
+// Scheduler/Medium without touching any protocol code:
+//
+//   * channel impairments — noise-floor rise, blanket PER multiplier,
+//     and a jammer node with a configurable duty cycle;
+//   * node faults — radio deafness (RX blackout) for any attached node;
+//   * arbitrary component faults via the generic window()/at()
+//     primitives, e.g. AP crash-and-reboot or a gateway uplink kill:
+//
+//       FaultInjector fi{scheduler, medium, Rng{7}};
+//       fi.window(TimePoint{seconds(60)}, seconds(30),
+//                 [&] { ap.stop(); }, [&] { ap.start(); });
+//       fi.at(TimePoint{seconds(90)}, [&] { gateway.kill_uplink(); });
+//
+// Everything is deterministic for a given seed; windows are scheduled up
+// front, so a scenario is a pure function of (script, seeds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace wile::sim {
+
+/// A dumb interferer: transmits undecodable garbage bursts with the given
+/// duty cycle. Anything overlapping a burst and audible above the
+/// carrier-sense floor collides; CSMA nodes additionally defer to it.
+struct JammerConfig {
+  Position position{};
+  double tx_power_dbm = 20.0;
+  /// Burst cadence: one burst of `duty_cycle * period` airtime per period.
+  Duration period = msec(10);
+  double duty_cycle = 0.1;  // clamped to [0, 0.95]
+  /// Size of the garbage MPDU receivers see (affects only parsing cost).
+  std::size_t frame_bytes = 64;
+};
+
+struct FaultStats {
+  std::uint64_t windows_scheduled = 0;
+  std::uint64_t windows_started = 0;
+  std::uint64_t windows_ended = 0;
+  /// Gauge: windows currently open (the ISSUE's fault_windows_active).
+  std::uint64_t fault_windows_active = 0;
+  std::uint64_t events_fired = 0;  // one-shot at() faults
+  std::uint64_t jammer_bursts = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Scheduler& scheduler, Medium& medium, Rng rng);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- generic primitives ----------------------------------------------------
+
+  /// Open a fault window: `on_start` fires at `start`, `on_end` at
+  /// `start + duration`. Either callback may be empty.
+  void window(TimePoint start, Duration duration, std::function<void()> on_start,
+              std::function<void()> on_end);
+
+  /// One-shot fault event (e.g. a sender clock-drift step).
+  void at(TimePoint when, std::function<void()> fn);
+
+  // --- channel impairments ---------------------------------------------------
+
+  /// Raise the effective noise floor by `delta_db` for the window.
+  /// Overlapping windows stack additively.
+  void noise_floor_rise(TimePoint start, Duration duration, double delta_db);
+
+  /// Multiply every packet error rate by `multiplier` for the window.
+  /// Overlapping windows stack multiplicatively.
+  void per_multiplier(TimePoint start, Duration duration, double multiplier);
+
+  /// Attach a jammer node that bursts for the window. Returns its NodeId
+  /// (useful for carrier-sense assertions). The jammer object lives as
+  /// long as the injector.
+  NodeId jammer(TimePoint start, Duration duration, JammerConfig config);
+
+  // --- node faults -----------------------------------------------------------
+
+  /// Block all frame delivery to `node` for the window (radio deafness;
+  /// the node's transmit path still works).
+  void radio_deaf(TimePoint start, Duration duration, NodeId node);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] bool any_active() const { return stats_.fault_windows_active > 0; }
+
+ private:
+  class Jammer;
+
+  Scheduler& scheduler_;
+  Medium& medium_;
+  Rng rng_;
+  FaultStats stats_;
+  std::vector<EventId> pending_;  // cancelled on destruction
+  std::vector<std::unique_ptr<Jammer>> jammers_;
+};
+
+}  // namespace wile::sim

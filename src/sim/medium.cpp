@@ -1,5 +1,6 @@
 #include "sim/medium.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -38,6 +39,10 @@ bool Medium::carrier_busy(NodeId listener) const {
 }
 
 bool Medium::transmitting(NodeId id) const { return nodes_.at(id).transmitting; }
+
+void Medium::set_rx_blocked(NodeId id, bool blocked) { nodes_.at(id).rx_blocked = blocked; }
+
+bool Medium::rx_blocked(NodeId id) const { return nodes_.at(id).rx_blocked; }
 
 void Medium::transmit(NodeId transmitter, TxRequest request) {
   NodeEntry& node = nodes_.at(transmitter);
@@ -92,6 +97,7 @@ void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*s
   for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
     if (receiver == tx.transmitter) continue;
     NodeEntry& node = nodes_[receiver];
+    if (node.rx_blocked) continue;  // injected radio deafness
     if (!node.client->rx_enabled()) continue;
 
     const double rx_power = rx_power_at(tx, receiver);
@@ -101,7 +107,7 @@ void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*s
     frame.transmitter = tx.transmitter;
     frame.mpdu = request.mpdu;
     frame.rx_power_dbm = rx_power;
-    frame.snr_db = rx_power - channel_.config().noise_floor_dbm;
+    frame.snr_db = rx_power - channel_.config().noise_floor_dbm - noise_offset_db_;
     frame.airtime = request.airtime;
     frame.rate = request.rate;
 
@@ -126,11 +132,11 @@ void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*s
     }
 
     // Channel error.
-    const double per = request.rate
-                           ? channel_.packet_error_rate(frame.snr_db, *request.rate,
-                                                        request.mpdu.size())
-                           : channel_.ble_packet_error_rate(frame.snr_db,
-                                                            request.mpdu.size());
+    double per = request.rate
+                     ? channel_.packet_error_rate(frame.snr_db, *request.rate,
+                                                  request.mpdu.size())
+                     : channel_.ble_packet_error_rate(frame.snr_db, request.mpdu.size());
+    per = std::min(1.0, per * per_multiplier_);
     if (rng_.chance(per)) {
       ++stats_.channel_losses;
       node.client->on_corrupt_frame(frame, /*collision=*/false);

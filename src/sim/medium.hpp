@@ -96,6 +96,26 @@ class Medium {
 
   [[nodiscard]] const phy::Channel& channel() const { return channel_; }
 
+  // --- impairment hooks (driven by sim::FaultInjector) -----------------------
+  // These model time-varying channel degradation without touching the
+  // Channel's calibration: an interference-driven noise-floor rise, a
+  // blanket PER multiplier (e.g. microwave-oven style wideband bursts),
+  // and per-node receive blackouts (radio deafness / crashed firmware).
+
+  /// Extra noise (dB) added on top of the channel's noise floor when
+  /// computing SNR at delivery time. 0 = unimpaired.
+  void set_noise_offset_db(double db) { noise_offset_db_ = db; }
+  [[nodiscard]] double noise_offset_db() const { return noise_offset_db_; }
+
+  /// Multiplies every computed packet error rate (clamped to 1.0).
+  void set_per_multiplier(double m) { per_multiplier_ = m; }
+  [[nodiscard]] double per_multiplier() const { return per_multiplier_; }
+
+  /// Block/unblock frame delivery to a node (its transmit path still
+  /// works — a deaf radio can shout).
+  void set_rx_blocked(NodeId id, bool blocked);
+  [[nodiscard]] bool rx_blocked(NodeId id) const;
+
   /// Carrier-sense / preamble-detection floor.
   static constexpr double kCarrierSenseDbm = -82.0;
 
@@ -128,6 +148,7 @@ class Medium {
     MediumClient* client = nullptr;
     Position position;
     bool transmitting = false;
+    bool rx_blocked = false;
   };
 
   void deliver(const ActiveTx& tx, const TxRequest& request, TimePoint started);
@@ -140,6 +161,8 @@ class Medium {
   std::vector<ActiveTx> active_;  // includes transmissions ending this instant
   std::uint64_t next_tx_id_ = 1;
   Stats stats_;
+  double noise_offset_db_ = 0.0;
+  double per_multiplier_ = 1.0;
 };
 
 }  // namespace wile::sim

@@ -98,10 +98,16 @@ void Station::power_save_send(Bytes payload, CycleCallback done) {
   phase_ = Phase::PsSend;
   tracker_.set_phase(config_.power.cpu_active, kPhaseTx);
   // MCU wake from automatic light sleep, then hand the frame to the MAC.
-  scheduler_.schedule_in(config_.power.ps_wake_time, [this] {
-    send_payload_and_finish([this] {
+  // Epoch guards: if the link is torn down (fault injection, beacon
+  // loss) while these continuations are pending, they must not run
+  // against the replacement association.
+  scheduler_.schedule_in(config_.power.ps_wake_time, [this, epoch = link_epoch_] {
+    if (epoch != link_epoch_) return;
+    send_payload_and_finish([this, epoch] {
+      if (epoch != link_epoch_) return;
       // Post-TX driver work, then settle back into PS idle.
-      scheduler_.schedule_in(config_.power.ps_tx_processing, [this] {
+      scheduler_.schedule_in(config_.power.ps_tx_processing, [this, epoch] {
+        if (epoch != link_epoch_) return;
         CycleReport report;
         report.success = true;
         report.wake_time = wake_time_;
@@ -288,7 +294,8 @@ void Station::step_announce_and_send() {
     const Bytes null_mpdu =
         dot11::build_null_data(bssid_, config_.mac, next_seq(), /*power_management=*/true);
     csma_->send(null_mpdu, config_.mgmt_rate, /*expect_ack=*/true,
-                [this](const sim::Csma::Result&) {
+                [this, epoch = link_epoch_](const sim::Csma::Result&) {
+                  if (epoch != link_epoch_) return;
                   enter_ps_idle();
                   if (ready_cb_) {
                     auto cb = std::move(ready_cb_);
@@ -315,10 +322,14 @@ void Station::send_payload_and_finish(std::function<void()> after_tx) {
                                              ccmp_ != nullptr, pm);
   last_tx_was_connect_frame_ = false;
   csma_->send(mpdu, config_.data_rate, /*expect_ack=*/true,
-              [this, after_tx = std::move(after_tx)](const sim::Csma::Result& r) {
+              [this, epoch = link_epoch_,
+               after_tx = std::move(after_tx)](const sim::Csma::Result& r) {
+                if (epoch != link_epoch_) return;
                 if (r.success) {
                   ++stats_.data_packets_sent;
                   after_tx();
+                } else if (phase_ == Phase::PsSend) {
+                  fail_ps_send();
                 } else {
                   fail_step("data frame never acknowledged");
                 }
@@ -347,10 +358,52 @@ void Station::finish_cycle(bool success) {
 
 void Station::enter_deep_sleep() {
   phase_ = Phase::DeepSleep;
+  ++link_epoch_;  // invalidate continuations of the association being torn down
   ccmp_.reset();
   ip_.reset();
   dhcp_offer_.reset();
+  last_beacon_time_.reset();
+  consecutive_beacon_misses_ = 0;
   tracker_.set_phase(config_.power.deep_sleep, kPhaseSleep);
+}
+
+void Station::fail_ps_send() {
+  // A PS-mode data frame exhausted its MAC retries: either the AP is
+  // gone or it rebooted and forgot us. Report the failed cycle to the
+  // caller, then declare the link dead so the owner can re-associate.
+  CycleReport report;
+  report.success = false;
+  report.wake_time = wake_time_;
+  report.sleep_time = scheduler_.now();
+  report.active_time = report.sleep_time - report.wake_time;
+  report.energy = timeline_.energy_between(report.wake_time, report.sleep_time);
+  auto cb = std::move(cycle_done_);
+  cycle_done_ = {};
+  declare_link_lost("PS data frame never acknowledged");
+  if (cb) cb(report);
+}
+
+void Station::declare_link_lost(const char* why) {
+  WILE_LOG(Warn) << "STA: link lost: " << why;
+  ++stats_.link_losses;
+  if (ps_wake_timer_) {
+    scheduler_.cancel(*ps_wake_timer_);
+    ps_wake_timer_.reset();
+  }
+  disarm_step_timeout();
+  enter_deep_sleep();
+  if (link_lost_) link_lost_();
+}
+
+void Station::force_link_down() {
+  if (phase_ != Phase::PsIdle && phase_ != Phase::PsBeaconRx && phase_ != Phase::PsSend) {
+    return;  // only an established PS link can be killed
+  }
+  if (phase_ == Phase::PsSend && cycle_done_) {
+    fail_ps_send();
+    return;
+  }
+  declare_link_lost("forced down (injected fault)");
 }
 
 void Station::fail_step(const char* what) {
@@ -395,17 +448,37 @@ void Station::schedule_ps_beacon_wake() {
     target = tbtt - config_.ps_wake_guard;
   }
   ps_wake_timer_ = scheduler_.schedule_at(target, [this] {
+    ps_wake_timer_.reset();
     if (phase_ != Phase::PsIdle) return;  // a send is in progress
     phase_ = Phase::PsBeaconRx;
+    beacon_seen_in_window_ = false;
     tracker_.set_phase(config_.power.radio_rx, kPhaseSleep);
-    scheduler_.schedule_in(config_.ps_beacon_rx_window, [this] {
-      if (phase_ == Phase::PsBeaconRx) {
-        phase_ = Phase::PsIdle;
-        tracker_.set_phase(config_.power.light_sleep, kPhaseSleep);
-      }
-      schedule_ps_beacon_wake();
+    // The close event is tracked in ps_wake_timer_ too, so a teardown
+    // mid-window cancels the whole chain.
+    ps_wake_timer_ = scheduler_.schedule_in(config_.ps_beacon_rx_window, [this] {
+      ps_wake_timer_.reset();
+      close_ps_beacon_window();
     });
   });
+}
+
+void Station::close_ps_beacon_window() {
+  if (phase_ == Phase::PsBeaconRx) {
+    phase_ = Phase::PsIdle;
+    tracker_.set_phase(config_.power.light_sleep, kPhaseSleep);
+    if (!beacon_seen_in_window_) {
+      ++stats_.beacons_missed;
+      ++consecutive_beacon_misses_;
+      if (config_.beacon_loss_limit > 0 &&
+          consecutive_beacon_misses_ >= config_.beacon_loss_limit) {
+        // N consecutive silent TBTTs: the AP is gone (or we drifted so
+        // far off its schedule that the link is useless either way).
+        declare_link_lost("beacon loss");
+        return;
+      }
+    }
+  }
+  schedule_ps_beacon_wake();
 }
 
 // ---------------------------------------------------------------------------
@@ -563,6 +636,8 @@ void Station::handle_mgmt(const dot11::ParsedMpdu& mpdu) {
       if (phase_ != Phase::PsBeaconRx && phase_ != Phase::PsIdle) return;
       if (h.addr3 != bssid_) return;
       ++stats_.beacons_heard;
+      beacon_seen_in_window_ = true;
+      consecutive_beacon_misses_ = 0;  // the link is alive
       const auto tim = dot11::parse_tim_ie(beacon->ies);
       if (tim && aid_ != 0 && tim->traffic_for(aid_)) {
         // Fetch the buffered frame with a PS-Poll.

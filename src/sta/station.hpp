@@ -61,6 +61,13 @@ struct StationConfig {
   Duration ps_beacon_rx_window = usec(10'300);
   /// Wake this long before the expected TBTT (sleep-clock guard).
   Duration ps_wake_guard = msec(2);
+  /// PS-mode link supervision: after this many consecutive listen
+  /// wake-ups with no beacon from our AP, declare the link dead, tear
+  /// down to deep sleep and fire the link-lost handler. With
+  /// listen_skip=3 and 100 TU beacons, the default detects an AP outage
+  /// in ~8 * 307 ms ≈ 2.5 s. 0 disables supervision (pre-fault-injection
+  /// behaviour: idle forever against a dead AP).
+  int beacon_loss_limit = 8;
 
   /// Scan dwell after a probe response: real clients keep listening on
   /// the channel before committing to an AP (part of Fig. 3a's
@@ -96,6 +103,10 @@ struct StationStats {
   std::uint64_t beacons_heard = 0;
   std::uint64_t ps_polls_sent = 0;
   std::uint64_t downlink_packets = 0;
+  /// PS listen windows that closed without hearing our AP's beacon.
+  std::uint64_t beacons_missed = 0;
+  /// Times link supervision (or a forced fault) declared the link dead.
+  std::uint64_t link_losses = 0;
 };
 
 /// Summary of one completed transmission cycle.
@@ -136,12 +147,29 @@ class Station : public sim::MediumClient {
       std::function<void(const net::Ipv4Header&, const net::UdpDatagram&)>;
   void set_downlink_handler(DownlinkHandler handler) { downlink_ = std::move(handler); }
 
+  /// Invoked after the station declares its PS-mode link dead (beacon
+  /// loss, an unacknowledged PS send, or force_link_down) and has torn
+  /// down to deep sleep. The owner may call connect_and_enter_power_save
+  /// again from inside the handler.
+  using LinkLostHandler = std::function<void()>;
+  void set_link_lost_handler(LinkLostHandler handler) { link_lost_ = std::move(handler); }
+
+  /// Injected fault: the radio/driver dies while associated. Tears down
+  /// to deep sleep immediately (failing any in-flight PS send via its
+  /// callback) and fires the link-lost handler. No-op outside PS mode.
+  void force_link_down();
+
+  [[nodiscard]] bool deep_sleeping() const { return phase_ == Phase::DeepSleep; }
+
   [[nodiscard]] const power::PowerTimeline& timeline() const { return timeline_; }
   [[nodiscard]] const StationStats& stats() const { return stats_; }
   [[nodiscard]] const StationConfig& config() const { return config_; }
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
   [[nodiscard]] std::optional<net::Ipv4Address> ip() const { return ip_; }
-  [[nodiscard]] bool associated() const { return phase_ == Phase::PsIdle; }
+  [[nodiscard]] bool associated() const {
+    return phase_ == Phase::PsIdle || phase_ == Phase::PsBeaconRx ||
+           phase_ == Phase::PsSend;
+  }
 
   // --- sim::MediumClient -----------------------------------------------------
   void on_frame(const sim::RxFrame& frame) override;
@@ -181,7 +209,10 @@ class Station : public sim::MediumClient {
   void enter_deep_sleep();
   void enter_ps_idle();
   void schedule_ps_beacon_wake();
+  void close_ps_beacon_window();
   void fail_step(const char* what);
+  void fail_ps_send();
+  void declare_link_lost(const char* why);
 
   // -- frame handling -----------------------------------------------------------
   void handle_mgmt(const dot11::ParsedMpdu& mpdu);
@@ -215,6 +246,13 @@ class Station : public sim::MediumClient {
   int step_attempts_ = 0;
   std::optional<sim::EventId> step_timer_;
   std::optional<sim::EventId> ps_wake_timer_;
+  /// Bumped on every teardown to deep sleep; continuation lambdas from a
+  /// previous association (CSMA completions, PS timers) capture the epoch
+  /// they were created in and bail out if it has moved on. Without this,
+  /// a stale ACK-timeout callback could tear down a *new* association.
+  std::uint64_t link_epoch_ = 0;
+  int consecutive_beacon_misses_ = 0;
+  bool beacon_seen_in_window_ = false;
 
   // connection state
   MacAddress bssid_;
@@ -245,6 +283,7 @@ class Station : public sim::MediumClient {
   bool last_tx_was_connect_frame_ = false;
 
   DownlinkHandler downlink_;
+  LinkLostHandler link_lost_;
   StationStats stats_;
 };
 

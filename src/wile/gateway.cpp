@@ -1,5 +1,7 @@
 #include "wile/gateway.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace wile::core {
@@ -34,21 +36,85 @@ std::optional<ForwardedReading> ForwardedReading::decode(BytesView payload) {
 
 Gateway::Gateway(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
                  GatewayConfig config, Rng rng)
-    : scheduler_(scheduler), config_(std::move(config)) {
+    : scheduler_(scheduler), config_(std::move(config)), rng_(std::move(rng)) {
   monitor_ = std::make_unique<Receiver>(scheduler, medium, position, config_.monitor);
   station_ = std::make_unique<sta::Station>(scheduler, medium, position, config_.station,
-                                            rng.fork());
+                                            rng_.fork());
   monitor_->set_message_callback(
       [this](const Message& message, const RxMeta& meta) { enqueue(message, meta); });
+  station_->set_link_lost_handler([this] { on_uplink_lost(); });
+}
+
+Gateway::~Gateway() {
+  if (reconnect_timer_) scheduler_.cancel(*reconnect_timer_);
+  if (pump_timer_) scheduler_.cancel(*pump_timer_);
 }
 
 void Gateway::start(std::function<void(bool)> ready) {
-  station_->connect_and_enter_power_save(
-      [this, ready = std::move(ready)](bool ok) {
-        uplink_ready_ = ok;
-        if (ready) ready(ok);
-        if (ok) pump();
-      });
+  started_ = true;
+  first_ready_ = std::move(ready);
+  attempt_connect();
+}
+
+void Gateway::kill_uplink() { station_->force_link_down(); }
+
+void Gateway::attempt_connect() {
+  reconnect_timer_.reset();
+  if (!station_->deep_sleeping()) {
+    // Teardown (or a previous attempt) still settling; come back later.
+    schedule_reconnect();
+    return;
+  }
+  const bool initial = !first_attempt_done_;
+  first_attempt_done_ = true;
+  if (!initial) ++stats_.reconnect_attempts;
+  station_->connect_and_enter_power_save([this, initial](bool ok) {
+    uplink_ready_ = ok;
+    if (ok) {
+      consecutive_connect_failures_ = 0;
+      if (!initial) ++stats_.reassociations;
+    } else {
+      ++consecutive_connect_failures_;
+    }
+    if (initial && first_ready_) {
+      auto cb = std::move(first_ready_);
+      first_ready_ = {};
+      cb(ok);
+    }
+    if (ok) {
+      pump();  // drain whatever queued up during the outage
+    } else {
+      schedule_reconnect();
+    }
+  });
+}
+
+void Gateway::on_uplink_lost() {
+  if (!uplink_ready_) return;  // already supervising a reconnect
+  uplink_ready_ = false;
+  ++stats_.uplink_losses;
+  // An in-flight send (if any) reports its failed CycleReport right after
+  // this handler; its reading is requeued there. Here we only arrange the
+  // re-association.
+  schedule_reconnect();
+}
+
+void Gateway::schedule_reconnect() {
+  if (!started_ || reconnect_timer_) return;
+  reconnect_timer_ = scheduler_.schedule_in(backoff_delay(), [this] { attempt_connect(); });
+}
+
+Duration Gateway::backoff_delay() {
+  const int shift = std::min(consecutive_connect_failures_, 16);
+  Duration delay = config_.reconnect_backoff_base * (std::int64_t{1} << shift);
+  if (delay.count() <= 0 || delay > config_.reconnect_backoff_cap) {
+    delay = config_.reconnect_backoff_cap;
+  }
+  const double spread =
+      1.0 + config_.reconnect_jitter_fraction * (2.0 * rng_.uniform() - 1.0);
+  const Duration jittered{
+      static_cast<std::int64_t>(static_cast<double>(delay.count()) * spread)};
+  return std::max(jittered, msec(1));
 }
 
 void Gateway::enqueue(const Message& message, const RxMeta& meta) {
@@ -62,30 +128,49 @@ void Gateway::enqueue(const Message& message, const RxMeta& meta) {
   reading.data = message.data;
 
   if (queue_.size() >= config_.max_queue) {
-    queue_.pop_front();
+    queue_.pop_front();  // newest-first retention: evict the oldest reading
     ++stats_.dropped_queue_full;
   }
-  queue_.push_back(std::move(reading));
+  queue_.push_back(QueuedReading{std::move(reading), 0});
   pump();
 }
 
 void Gateway::pump() {
   if (!uplink_ready_ || sending_ || queue_.empty()) return;
   sending_ = true;
-  ForwardedReading next = std::move(queue_.front());
+  QueuedReading item = std::move(queue_.front());
   queue_.pop_front();
-  station_->power_save_send(next.encode(), [this](const sta::CycleReport& report) {
-    sending_ = false;
-    if (report.success) {
-      ++stats_.forwarded;
+  if (item.attempts > 0) ++stats_.retries;
+  Bytes payload = item.reading.encode();
+  station_->power_save_send(
+      std::move(payload), [this, item = std::move(item)](const sta::CycleReport& report) mutable {
+        on_send_result(std::move(item), report.success);
+      });
+}
+
+void Gateway::on_send_result(QueuedReading item, bool success) {
+  sending_ = false;
+  if (success) {
+    ++stats_.forwarded;
+  } else {
+    ++stats_.forward_failures;
+    ++item.attempts;
+    if (item.attempts > config_.forward_retry_limit) {
+      ++stats_.dropped_retry_budget;
+    } else if (queue_.size() >= config_.max_queue) {
+      ++stats_.dropped_queue_full;  // queue filled during the outage; newest wins
     } else {
-      ++stats_.forward_failures;
+      queue_.push_front(std::move(item));  // retry in original order
     }
-    // Drain anything that arrived while the uplink was busy.
-    if (!queue_.empty()) {
-      scheduler_.schedule_in(msec(1), [this] { pump(); });
-    }
-  });
+  }
+  // Drain anything that arrived (or was requeued) while the uplink was
+  // busy. Deferred a beat so a failed send cannot spin synchronously.
+  if (!queue_.empty() && uplink_ready_ && !pump_timer_) {
+    pump_timer_ = scheduler_.schedule_in(msec(1), [this] {
+      pump_timer_.reset();
+      pump();
+    });
+  }
 }
 
 }  // namespace wile::core

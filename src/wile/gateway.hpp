@@ -7,6 +7,14 @@
 // to a server behind the AP as a UDP datagram. A Raspberry-Pi-class box
 // with two WiFi interfaces — mains powered, so its energy is not the
 // scarce resource; the sensors' is.
+//
+// The gateway is self-healing: it supervises its uplink (the station's
+// beacon-loss detection plus per-send failure reports), re-associates
+// with capped exponential backoff + jitter after any loss, retries each
+// reading within a budget, and keeps newest-first semantics when the
+// queue overflows during an outage. All of it is observable through
+// GatewayStats; tests/test_fault_injection.cpp drives the recovery
+// paths end-to-end.
 #pragma once
 
 #include <cstdint>
@@ -41,41 +49,87 @@ struct GatewayConfig {
   sta::StationConfig station{};
   /// Wi-LE side (device key etc.).
   ReceiverConfig monitor{};
-  /// Readings buffered while the uplink is busy; older ones drop first.
+  /// Readings buffered while the uplink is busy; older ones drop first
+  /// (newest-first retention — the latest sensor state matters most).
   std::size_t max_queue = 64;
+  /// Forward retries per reading after a failed send (0 = fire and
+  /// forget). A reading that exhausts the budget is dropped.
+  int forward_retry_limit = 3;
+  /// Re-association backoff: delay = base * 2^attempt, capped, with a
+  /// uniform ±jitter_fraction spread so a fleet of gateways does not
+  /// stampede a recovering AP.
+  Duration reconnect_backoff_base = msec(500);
+  Duration reconnect_backoff_cap = seconds(8);
+  double reconnect_jitter_fraction = 0.2;
 };
 
 struct GatewayStats {
   std::uint64_t received = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t dropped_queue_full = 0;
+  /// Failed forward attempts (each failed send, including retries).
   std::uint64_t forward_failures = 0;
+  /// Re-sends of a queued reading after a failure.
+  std::uint64_t retries = 0;
+  /// Readings abandoned after exhausting forward_retry_limit.
+  std::uint64_t dropped_retry_budget = 0;
+  /// Uplink-dead declarations observed (beacon loss, send death, fault).
+  std::uint64_t uplink_losses = 0;
+  /// Connection attempts made after the initial start().
+  std::uint64_t reconnect_attempts = 0;
+  /// Successful re-associations after a loss or failed attempt.
+  std::uint64_t reassociations = 0;
 };
 
 class Gateway {
  public:
   Gateway(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
           GatewayConfig config, Rng rng);
+  ~Gateway();
 
   /// Associate the uplink station and begin bridging. `ready` fires once
-  /// the station is through DHCP (or has failed).
+  /// with the outcome of the *first* attempt (through DHCP, or failed).
+  /// Whatever the outcome, the gateway keeps supervising: failures and
+  /// later losses trigger automatic re-association with backoff.
   void start(std::function<void(bool)> ready);
 
+  /// Injected fault: kill the uplink radio/driver. The station tears
+  /// down; the supervision machinery notices and re-associates.
+  void kill_uplink();
+
+  [[nodiscard]] bool uplink_ready() const { return uplink_ready_; }
   [[nodiscard]] const GatewayStats& stats() const { return stats_; }
   [[nodiscard]] const Receiver& monitor() const { return *monitor_; }
   [[nodiscard]] const sta::Station& station() const { return *station_; }
 
  private:
+  struct QueuedReading {
+    ForwardedReading reading;
+    int attempts = 0;  // failed sends so far
+  };
+
   void enqueue(const Message& message, const RxMeta& meta);
   void pump();
+  void on_send_result(QueuedReading item, bool success);
+  void on_uplink_lost();
+  void attempt_connect();
+  void schedule_reconnect();
+  [[nodiscard]] Duration backoff_delay();
 
   sim::Scheduler& scheduler_;
   GatewayConfig config_;
+  Rng rng_;  // backoff jitter
   std::unique_ptr<Receiver> monitor_;
   std::unique_ptr<sta::Station> station_;
-  std::deque<ForwardedReading> queue_;
+  std::deque<QueuedReading> queue_;
   bool uplink_ready_ = false;
   bool sending_ = false;
+  bool started_ = false;
+  bool first_attempt_done_ = false;
+  int consecutive_connect_failures_ = 0;
+  std::optional<sim::EventId> reconnect_timer_;
+  std::optional<sim::EventId> pump_timer_;
+  std::function<void(bool)> first_ready_;
   GatewayStats stats_;
 };
 

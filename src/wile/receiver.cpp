@@ -94,15 +94,27 @@ void Receiver::accept_fragment(const Fragment& fragment, const RxMeta& meta) {
   if (inserted) {
     dev.device_id = message->device_id;
     dev.first_seen = meta.received_at;
+    dev.last_sequence = message->sequence;
+    dev.recent_seen = 1;
+  } else if (message->sequence > dev.last_sequence) {
+    const std::uint32_t gap = message->sequence - dev.last_sequence;
+    dev.estimated_losses += gap - 1;
+    dev.recent_seen = (gap >= 64) ? 1 : ((dev.recent_seen << gap) | 1);
+    dev.last_sequence = message->sequence;
   } else {
-    if (message->sequence == dev.last_sequence) {
+    // Late arrival (out of order, or a retransmission after a gap was
+    // already charged as lost). If we have it, it's a duplicate; if not,
+    // it fills its gap and the loss estimate is walked back.
+    const std::uint32_t age = dev.last_sequence - message->sequence;
+    if (age >= 64) return;  // beyond the tracking horizon
+    const std::uint64_t bit = std::uint64_t{1} << age;
+    if (dev.recent_seen & bit) {
       ++stats_.duplicates;
       return;
     }
-    if (message->sequence < dev.last_sequence) return;  // stale/reordered
-    dev.estimated_losses += message->sequence - dev.last_sequence - 1;
+    dev.recent_seen |= bit;
+    if (dev.estimated_losses > 0) --dev.estimated_losses;
   }
-  dev.last_sequence = message->sequence;
   dev.last_seen = meta.received_at;
   dev.last_rssi_dbm = meta.rssi_dbm;
   ++dev.messages;

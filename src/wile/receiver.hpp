@@ -47,6 +47,11 @@ struct DeviceInfo {
   std::uint32_t last_sequence = 0;
   std::uint64_t messages = 0;
   std::uint64_t estimated_losses = 0;  // from sequence gaps
+  /// Sliding window over the last 64 sequence numbers: bit i set means
+  /// sequence (last_sequence - i) was received. Lets a late retransmitted
+  /// beacon fill its gap (decrementing estimated_losses) instead of being
+  /// miscounted as a duplicate or inflating the loss estimate.
+  std::uint64_t recent_seen = 1;
   TimePoint first_seen{};
   TimePoint last_seen{};
   double last_rssi_dbm = 0.0;

@@ -135,6 +135,11 @@ class Sender : public sim::MediumClient {
   /// Deliver Downlink messages received during announced RX windows.
   void set_downlink_callback(DownlinkCallback cb) { downlink_cb_ = std::move(cb); }
 
+  /// Step the sleep clock's systematic error at runtime (fault injection:
+  /// a temperature excursion shifting the crystal). Takes effect from the
+  /// next scheduled wake onward; jittered_period() reads it per cycle.
+  void apply_clock_drift_ppm(double ppm) { config_.clock_ppm_error = ppm; }
+
   [[nodiscard]] const power::PowerTimeline& timeline() const { return timeline_; }
   [[nodiscard]] const SenderConfig& config() const { return config_; }
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }

@@ -155,5 +155,58 @@ TEST_F(GatewayTest, EncryptedSensorsNeedMatchingMonitorKey) {
   EXPECT_EQ(server_received_[0].device_id, 1u);
 }
 
+TEST_F(GatewayTest, UplinkStallOverflowsQueueNewestFirst) {
+  GatewayConfig cfg;
+  cfg.station.mac = MacAddress::from_seed(0x6D7E);
+  cfg.max_queue = 2;
+  Gateway gw{scheduler_, medium_, {3, 3}, cfg, Rng{80}};
+  bool ready = false;
+  gw.start([&](bool ok) { ready = ok; });
+  scheduler_.run_until(scheduler_.now() + seconds(10));
+  ASSERT_TRUE(ready);
+
+  ap_->stop();  // outage: the uplink stalls and readings pile up
+
+  SenderConfig scfg;
+  scfg.device_id = 0x800;
+  Sender sensor{scheduler_, medium_, {5, 3}, scfg, Rng{81}};
+  for (int i = 0; i < 6; ++i) {
+    sensor.send_now(Bytes{static_cast<std::uint8_t>(i)}, {});
+    scheduler_.run_until(scheduler_.now() + seconds(2));
+  }
+
+  EXPECT_EQ(gw.stats().received, 6u);
+  EXPECT_EQ(gw.stats().forwarded, 0u);
+  EXPECT_GE(gw.stats().uplink_losses, 1u);   // the stalled send killed the link
+  EXPECT_GE(gw.stats().dropped_queue_full, 3u);  // cap 2, newest retained
+}
+
+TEST_F(GatewayTest, RecoversAndRetriesAfterMidPumpLinkLoss) {
+  ASSERT_TRUE(start_gateway());
+  ap_->stop();  // crash: the station still believes it is associated
+
+  SenderConfig scfg;
+  scfg.device_id = 0x900;
+  Sender sensor{scheduler_, medium_, {5, 4}, scfg, Rng{90}};
+  sensor.send_now(Bytes{0x42}, {});
+  scheduler_.run_until(scheduler_.now() + seconds(3));
+
+  // The PS send died mid-pump: failure counted, reading requeued, link
+  // declared lost. Nothing reached the server.
+  EXPECT_GE(gateway_->stats().forward_failures, 1u);
+  EXPECT_GE(gateway_->stats().uplink_losses, 1u);
+  EXPECT_TRUE(server_received_.empty());
+
+  ap_->start();  // AP reboots; the gateway must heal itself and drain
+  scheduler_.run_until(scheduler_.now() + seconds(30));
+
+  EXPECT_GE(gateway_->stats().reassociations, 1u);
+  EXPECT_GE(gateway_->stats().retries, 1u);
+  EXPECT_EQ(gateway_->stats().forwarded, 1u);
+  ASSERT_EQ(server_received_.size(), 1u);
+  EXPECT_EQ(server_received_[0].device_id, 0x900u);
+  EXPECT_EQ(server_received_[0].data, Bytes{0x42});
+}
+
 }  // namespace
 }  // namespace wile::core

@@ -2,6 +2,9 @@
 // the simulated multimeter.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "power/battery.hpp"
 #include "power/devices.hpp"
 #include "power/timeline.hpp"
 #include "power/trace_recorder.hpp"
@@ -198,6 +201,32 @@ TEST(DeviceProfiles, WiLeTxEnergyTargetsTable1) {
   const Esp32PowerProfile esp;
   const Watts p_tx = esp.supply * esp.radio_tx;
   EXPECT_NEAR(p_tx.value, 0.6, 0.01);
+}
+
+TEST(Battery, LifetimeFiniteUnderPositiveLoad) {
+  const BatteryModel cell = BatteryModel::cr2032();
+  const double secs = cell.lifetime_seconds(Watts{1e-3});
+  EXPECT_TRUE(std::isfinite(secs));
+  EXPECT_GT(secs, 0.0);
+  // Sanity: ~2 kJ usable at ~1 mW net drain is on the order of weeks.
+  EXPECT_NEAR(secs, cell.usable_energy().value /
+                        (1e-3 + cell.self_discharge_power().value),
+              1e-6);
+}
+
+TEST(Battery, LifetimeInfiniteWhenNetDrainNonPositive) {
+  // A cell with no self-discharge and no load never empties; same for a
+  // net-harvesting (negative) load. Both must report +infinity, not 0.
+  BatteryModel ideal = BatteryModel::cr2032();
+  ideal.self_discharge_per_year = 0.0;
+  EXPECT_TRUE(std::isinf(ideal.lifetime_seconds(Watts{0.0})));
+  EXPECT_GT(ideal.lifetime_seconds(Watts{0.0}), 0.0);  // +inf, not -inf
+
+  const BatteryModel real = BatteryModel::cr2032();
+  const Watts harvesting{-2.0 * real.self_discharge_power().value};
+  EXPECT_TRUE(std::isinf(real.lifetime_seconds(harvesting)));
+  // Zero load with real self-discharge stays finite (the cell still dies).
+  EXPECT_TRUE(std::isfinite(real.lifetime_seconds(Watts{0.0})));
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Build the whole tree with ASan+UBSan (-DWILE_SANITIZE=ON) in a separate
+# build directory and run the tier-1 test suite under the sanitizers.
+# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${WILE_SANITIZE_BUILD_DIR:-$repo_root/build-asan}"
+
+cmake -B "$build_dir" -S "$repo_root" -DWILE_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error via -fno-sanitize-recover=all; keep odr/leak checks on.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"
