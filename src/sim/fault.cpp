@@ -130,6 +130,16 @@ void FaultInjector::per_multiplier(TimePoint start, Duration duration, double mu
       });
 }
 
+void FaultInjector::per_floor(TimePoint start, Duration duration, double p) {
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("FaultInjector: PER floor not in [0,1)");
+  // Stack as independent erasure processes so nested windows compose and
+  // unwind exactly: survival probabilities multiply/divide.
+  window(
+      start, duration,
+      [this, p] { medium_.set_loss_floor(1.0 - (1.0 - medium_.loss_floor()) * (1.0 - p)); },
+      [this, p] { medium_.set_loss_floor(1.0 - (1.0 - medium_.loss_floor()) / (1.0 - p)); });
+}
+
 NodeId FaultInjector::jammer(TimePoint start, Duration duration, JammerConfig config) {
   jammers_.push_back(
       std::make_unique<Jammer>(scheduler_, medium_, config, stats_, rng_.fork()));

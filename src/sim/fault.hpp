@@ -86,6 +86,12 @@ class FaultInjector {
   /// Overlapping windows stack multiplicatively.
   void per_multiplier(TimePoint start, Duration duration, double multiplier);
 
+  /// Impose an SNR-independent baseline loss probability for the window
+  /// (drops `p` of frames even on an otherwise-clean link — the knob FEC
+  /// tests use to inject exact loss). Overlapping windows stack as
+  /// independent erasure processes: 1 - (1-a)(1-b).
+  void per_floor(TimePoint start, Duration duration, double p);
+
   /// Attach a jammer node that bursts for the window. Returns its NodeId
   /// (useful for carrier-sense assertions). The jammer object lives as
   /// long as the injector.

@@ -137,6 +137,9 @@ void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*s
                                                   request.mpdu.size())
                      : channel_.ble_packet_error_rate(frame.snr_db, request.mpdu.size());
     per = std::min(1.0, per * per_multiplier_);
+    // Independent erasure floor: lose at least `loss_floor_` of frames
+    // regardless of SNR (union of the two independent loss processes).
+    per = loss_floor_ + (1.0 - loss_floor_) * per;
     if (rng_.chance(per)) {
       ++stats_.channel_losses;
       node.client->on_corrupt_frame(frame, /*collision=*/false);

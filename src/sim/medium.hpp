@@ -9,6 +9,7 @@
 // separate bands in the real world.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -111,6 +112,13 @@ class Medium {
   void set_per_multiplier(double m) { per_multiplier_ = m; }
   [[nodiscard]] double per_multiplier() const { return per_multiplier_; }
 
+  /// SNR-independent baseline loss probability, applied as an
+  /// independent erasure process on top of the model PER (so a clean
+  /// short-range link still drops `p` of its frames). This is the knob
+  /// FEC ablations use to inject an exact packet error rate.
+  void set_loss_floor(double p) { loss_floor_ = std::clamp(p, 0.0, 1.0); }
+  [[nodiscard]] double loss_floor() const { return loss_floor_; }
+
   /// Block/unblock frame delivery to a node (its transmit path still
   /// works — a deaf radio can shout).
   void set_rx_blocked(NodeId id, bool blocked);
@@ -163,6 +171,7 @@ class Medium {
   Stats stats_;
   double noise_offset_db_ = 0.0;
   double per_multiplier_ = 1.0;
+  double loss_floor_ = 0.0;
 };
 
 }  // namespace wile::sim

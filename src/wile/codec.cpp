@@ -1,5 +1,6 @@
 #include "wile/codec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/crc.hpp"
@@ -11,6 +12,7 @@ constexpr std::uint8_t kVersion = 1;
 constexpr std::uint8_t kFlagEncrypted = 0x01;
 constexpr std::uint8_t kFlagFragmented = 0x02;
 constexpr std::uint8_t kFlagRxWindow = 0x04;
+constexpr std::uint8_t kFlagParity = 0x08;
 
 // ver flags device_id seq type data_len crc
 constexpr std::size_t kFixedOverhead = 1 + 1 + 4 + 4 + 1 + 1 + 4;
@@ -45,12 +47,13 @@ std::size_t Codec::capacity(std::size_t max_elements, bool has_window) const {
 }
 
 Bytes Codec::encode_one(const Message& message, std::uint8_t frag_index,
-                        std::uint8_t frag_count, BytesView data) const {
-  const bool fragmented = frag_count > 1;
+                        std::uint8_t frag_count, BytesView data, bool parity) const {
+  const bool fragmented = frag_count > 1 || parity;
   std::uint8_t flags = 0;
   if (aead_) flags |= kFlagEncrypted;
   if (fragmented) flags |= kFlagFragmented;
   if (message.rx_window) flags |= kFlagRxWindow;
+  if (parity) flags |= kFlagParity;
 
   Bytes body;  // data or sealed data
   if (aead_) {
@@ -87,7 +90,7 @@ Bytes Codec::encode_one(const Message& message, std::uint8_t frag_index,
   return w.take();
 }
 
-std::vector<dot11::InfoElement> Codec::encode(const Message& message) const {
+std::vector<dot11::InfoElement> Codec::encode(const Message& message, bool parity) const {
   const bool has_window = message.rx_window.has_value();
   const std::size_t single = max_fragment_data(false, has_window);
   std::vector<dot11::InfoElement> out;
@@ -103,7 +106,9 @@ std::vector<dot11::InfoElement> Codec::encode(const Message& message) const {
     return out;
   }
 
-  const std::size_t per_frag = max_fragment_data(true, has_window);
+  // Parity mode gives up one data byte per fragment: the parity body is
+  // [last_len][per_frag-byte XOR block] and must fit the same element.
+  const std::size_t per_frag = max_fragment_data(true, has_window) - (parity ? 1 : 0);
   const std::size_t count = (message.data.size() + per_frag - 1) / per_frag;
   if (count > 255) throw std::invalid_argument("Wi-LE message needs more than 255 fragments");
   for (std::size_t i = 0; i < count; ++i) {
@@ -111,6 +116,16 @@ std::vector<dot11::InfoElement> Codec::encode(const Message& message) const {
     const std::size_t len = std::min(per_frag, message.data.size() - off);
     wrap(encode_one(message, static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(count),
                     BytesView{message.data.data() + off, len}));
+  }
+  if (parity) {
+    const std::size_t last_len = message.data.size() - (count - 1) * per_frag;
+    Bytes body(1 + per_frag, 0);
+    body[0] = static_cast<std::uint8_t>(last_len);
+    for (std::size_t i = 0; i < message.data.size(); ++i) {
+      body[1 + i % per_frag] ^= message.data[i];
+    }
+    wrap(encode_one(message, static_cast<std::uint8_t>(count),
+                    static_cast<std::uint8_t>(count), body, /*parity=*/true));
   }
   return out;
 }
@@ -144,10 +159,15 @@ std::optional<Fragment> Codec::decode(const dot11::InfoElement& element,
     f.device_id = r.u32le();
     f.sequence = r.u32le();
     f.type = static_cast<MessageType>(r.u8());
+    f.parity = (flags & kFlagParity) != 0;
+    if (f.parity && !(flags & kFlagFragmented)) return fail(DecodeError::Malformed);
     if (flags & kFlagFragmented) {
       f.frag_index = r.u8();
       f.frag_count = r.u8();
-      if (f.frag_count == 0 || f.frag_index >= f.frag_count) {
+      // A parity element sits one past the end of its group
+      // (frag_index == frag_count); data fragments must be inside it.
+      if (f.frag_count == 0 ||
+          (f.parity ? f.frag_index != f.frag_count : f.frag_index >= f.frag_count)) {
         return fail(DecodeError::Malformed);
       }
     }
@@ -212,8 +232,76 @@ std::optional<Fragment> decode_ssid_stuffed(std::string_view ssid) {
   return f;
 }
 
+Bytes encode_recovery_payload(const RecoveryPayload& payload) {
+  if (payload.entries.empty() || payload.entries.size() > kMaxRecoveryGroup) {
+    throw std::invalid_argument("recovery payload: bad group size");
+  }
+  std::size_t max_len = 0;
+  for (const auto& e : payload.entries) max_len = std::max<std::size_t>(max_len, e.length);
+  if (payload.xor_block.size() != max_len) {
+    throw std::invalid_argument("recovery payload: xor block / length mismatch");
+  }
+  ByteWriter w(5 + 3 * payload.entries.size() + payload.xor_block.size());
+  w.u32le(payload.base_sequence);
+  w.u8(static_cast<std::uint8_t>(payload.entries.size()));
+  for (const auto& e : payload.entries) {
+    w.u8(static_cast<std::uint8_t>(e.type));
+    w.u16le(e.length);
+  }
+  w.bytes(payload.xor_block);
+  return w.take();
+}
+
+std::optional<RecoveryPayload> decode_recovery_payload(BytesView data) {
+  try {
+    ByteReader r{data};
+    RecoveryPayload p;
+    p.base_sequence = r.u32le();
+    const std::size_t k = r.u8();
+    if (k == 0 || k > kMaxRecoveryGroup) return std::nullopt;
+    std::size_t max_len = 0;
+    p.entries.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      RecoveryEntry e;
+      e.type = static_cast<MessageType>(r.u8());
+      e.length = r.u16le();
+      max_len = std::max<std::size_t>(max_len, e.length);
+      p.entries.push_back(e);
+    }
+    if (r.remaining() != max_len) return std::nullopt;
+    const BytesView block = r.bytes(max_len);
+    p.xor_block.assign(block.begin(), block.end());
+    return p;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_channel_report(const ChannelReport& report) {
+  ByteWriter w(7);
+  w.u32le(report.as_of_sequence);
+  w.u16le(report.loss_permille);
+  w.u8(report.window);
+  return w.take();
+}
+
+std::optional<ChannelReport> decode_channel_report(BytesView data) {
+  try {
+    ByteReader r{data};
+    ChannelReport rep;
+    rep.as_of_sequence = r.u32le();
+    rep.loss_permille = r.u16le();
+    rep.window = r.u8();
+    if (r.remaining() != 0) return std::nullopt;
+    if (rep.loss_permille > 1000 || rep.window == 0) return std::nullopt;
+    return rep;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<Message> Reassembler::add(const Fragment& fragment) {
-  if (fragment.frag_count <= 1) {
+  if (fragment.frag_count <= 1 && !fragment.parity) {
     Message m;
     m.device_id = fragment.device_id;
     m.sequence = fragment.sequence;
@@ -223,7 +311,26 @@ std::optional<Message> Reassembler::add(const Fragment& fragment) {
     return m;
   }
 
-  Partial& p = partial_[fragment.device_id];
+  // Codec::decode enforces these, but hand-built fragments must not be
+  // able to index outside the group.
+  if (fragment.frag_count == 0) return std::nullopt;
+  if (!fragment.parity && fragment.frag_index >= fragment.frag_count) return std::nullopt;
+
+  auto it = partial_.find(fragment.device_id);
+  if (it == partial_.end()) {
+    if (partial_.size() >= max_partials_) {
+      // Table full: drop the partial that has waited longest for its
+      // missing fragments (its device likely went silent mid-message).
+      auto oldest = partial_.begin();
+      for (auto cand = partial_.begin(); cand != partial_.end(); ++cand) {
+        if (cand->second.last_touch < oldest->second.last_touch) oldest = cand;
+      }
+      partial_.erase(oldest);
+      ++partials_evicted_;
+    }
+    it = partial_.try_emplace(fragment.device_id).first;
+  }
+  Partial& p = it->second;
   if (p.sequence != fragment.sequence || p.frag_count != fragment.frag_count ||
       p.parts.size() != fragment.frag_count) {
     // New message (or stale partial): reset the slot.
@@ -233,21 +340,59 @@ std::optional<Message> Reassembler::add(const Fragment& fragment) {
     p.parts.assign(fragment.frag_count, std::nullopt);
   }
   p.type = fragment.type;
+  p.last_touch = ++tick_;
   if (fragment.rx_window) p.rx_window = fragment.rx_window;
-  p.parts[fragment.frag_index] = fragment.data;
-
-  for (const auto& part : p.parts) {
-    if (!part) return std::nullopt;
+  if (fragment.parity) {
+    if (fragment.data.empty()) return std::nullopt;  // malformed parity body
+    p.parity = fragment.data;
+  } else {
+    p.parts[fragment.frag_index] = fragment.data;
   }
+  return try_complete(fragment.device_id, p);
+}
+
+std::optional<Message> Reassembler::try_complete(std::uint32_t device_id, Partial& p) {
+  std::size_t missing = 0;
+  std::size_t missing_index = 0;
+  for (std::size_t i = 0; i < p.parts.size(); ++i) {
+    if (!p.parts[i]) {
+      ++missing;
+      missing_index = i;
+    }
+  }
+
+  if (missing == 1 && p.parity) {
+    // Erasure-correct the one missing fragment: XOR the parity block
+    // with every present fragment (zero-padded to the block length).
+    const std::size_t xor_len = p.parity->size() - 1;
+    const std::size_t last_len = (*p.parity)[0];
+    bool usable = last_len <= xor_len;
+    for (const auto& part : p.parts) {
+      if (part && part->size() > xor_len) usable = false;
+    }
+    if (usable) {
+      Bytes rec(p.parity->begin() + 1, p.parity->end());
+      for (const auto& part : p.parts) {
+        if (!part) continue;
+        for (std::size_t i = 0; i < part->size(); ++i) rec[i] ^= (*part)[i];
+      }
+      rec.resize(missing_index + 1 == p.parts.size() ? last_len : xor_len);
+      p.parts[missing_index] = std::move(rec);
+      ++parity_recoveries_;
+      missing = 0;
+    }
+  }
+  if (missing > 0) return std::nullopt;
+
   Message m;
-  m.device_id = fragment.device_id;
+  m.device_id = device_id;
   m.sequence = p.sequence;
   m.type = p.type;
   m.rx_window = p.rx_window;
   for (auto& part : p.parts) {
     m.data.insert(m.data.end(), part->begin(), part->end());
   }
-  partial_.erase(fragment.device_id);
+  partial_.erase(device_id);
   return m;
 }
 

@@ -1,5 +1,8 @@
 #include "wile/controller.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "dot11/mgmt.hpp"
 
 namespace wile::core {
@@ -37,17 +40,50 @@ void Controller::on_frame(const sim::RxFrame& frame) {
   meta.bssid = parsed->header.addr3;
 
   for (const Fragment& fragment : codec_.decode_all(beacon->ies)) {
+    // Loss bookkeeping runs at fragment granularity over the uplink data
+    // types only: Recovery beacons and downlink traffic (possibly from
+    // other controllers) ride different sequence spaces.
+    const bool uplink_data = fragment.type == MessageType::Telemetry ||
+                             fragment.type == MessageType::Event ||
+                             fragment.type == MessageType::Probe;
+    if (uplink_data) {
+      auto [tit, inserted] = tracks_.try_emplace(fragment.device_id);
+      if (inserted) {
+        tit->second.last_sequence = fragment.sequence;
+      } else {
+        update_track(tit->second, fragment.sequence);
+      }
+    }
     if (fragment.rx_window) {
       ++stats_.windows_seen;
       auto qit = queued_.find(fragment.device_id);
       if (qit != queued_.end() && !qit->second.empty()) {
         inject_downlink(fragment.device_id, *fragment.rx_window);
       }
+      // Loss-adaptive redundancy: one ChannelReport per announced
+      // sequence (repeats of the same beacon don't re-trigger).
+      if (config_.channel_reports && uplink_data) {
+        Track& track = tracks_[fragment.device_id];
+        if (!track.reported || track.last_reported_announce != fragment.sequence) {
+          track.reported = true;
+          track.last_reported_announce = fragment.sequence;
+          Message report;
+          report.device_id = fragment.device_id;
+          report.sequence = downlink_seq_[fragment.device_id]++;
+          report.type = MessageType::ChannelReport;
+          report.data = encode_channel_report(make_report(track));
+          schedule_injection(*fragment.rx_window, std::move(report), TxKind::Report);
+        }
+      }
     }
     if (auto message = reassembler_.add(fragment)) {
       // Reliable mode: acknowledge completed uplinks into the window the
-      // device just announced.
-      if (config_.auto_ack && fragment.rx_window && message->type != MessageType::Ack) {
+      // device just announced. Only data uplinks are acked — FEC and
+      // control traffic is not part of the reliable stream.
+      const bool ackable = message->type == MessageType::Telemetry ||
+                           message->type == MessageType::Event ||
+                           message->type == MessageType::Probe;
+      if (config_.auto_ack && fragment.rx_window && ackable) {
         Message ack;
         ack.device_id = message->device_id;
         ack.sequence = downlink_seq_[message->device_id]++;
@@ -55,11 +91,39 @@ void Controller::on_frame(const sim::RxFrame& frame) {
         ByteWriter w(4);
         w.u32le(message->sequence);
         ack.data = w.take();
-        schedule_injection(*fragment.rx_window, std::move(ack), /*is_ack=*/true);
+        schedule_injection(*fragment.rx_window, std::move(ack), TxKind::Ack);
       }
       if (callback_) callback_(*message, meta);
     }
   }
+}
+
+void Controller::update_track(Track& track, std::uint32_t sequence) {
+  // Serial-number arithmetic: correct across the uint32 sequence wrap.
+  const auto ahead = static_cast<std::int32_t>(sequence - track.last_sequence);
+  if (ahead > 0) {
+    const auto gap = static_cast<std::uint32_t>(ahead);
+    track.recent_seen = (gap >= 64) ? 1 : ((track.recent_seen << gap) | 1);
+    track.last_sequence = sequence;
+    track.span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        64, static_cast<std::uint64_t>(track.span) + gap));
+  } else {
+    const auto age = static_cast<std::uint32_t>(-ahead);
+    if (age < 64) track.recent_seen |= std::uint64_t{1} << age;
+  }
+}
+
+ChannelReport Controller::make_report(const Track& track) const {
+  const auto window = static_cast<std::uint32_t>(std::clamp(config_.report_window, 1, 64));
+  const std::uint32_t w = std::min(window, track.span);
+  const std::uint64_t mask = w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+  const auto received =
+      static_cast<std::uint32_t>(std::popcount(track.recent_seen & mask));
+  ChannelReport report;
+  report.as_of_sequence = track.last_sequence;
+  report.loss_permille = static_cast<std::uint16_t>(1000 * (w - std::min(received, w)) / w);
+  report.window = static_cast<std::uint8_t>(w);
+  return report;
 }
 
 Bytes Controller::build_downlink_beacon(const Message& message) {
@@ -88,22 +152,22 @@ void Controller::inject_downlink(std::uint32_t device_id, const RxWindow& window
   message.type = MessageType::Downlink;
   message.data = std::move(qit->second.front());
   qit->second.pop_front();
-  schedule_injection(window, std::move(message), /*is_ack=*/false);
+  schedule_injection(window, std::move(message), TxKind::Downlink);
 }
 
-void Controller::schedule_injection(const RxWindow& window, Message message, bool is_ack) {
+void Controller::schedule_injection(const RxWindow& window, Message message, TxKind kind) {
   // The device starts listening `window.offset` after its beacon ended —
   // which is now (frames are delivered at end-of-airtime). Aim a little
   // into the window so CSMA slop does not miss it.
   const Duration lead = window.offset + config_.aim_into_window;
-  scheduler_.schedule_in(lead, [this, message = std::move(message), is_ack] {
+  scheduler_.schedule_in(lead, [this, message = std::move(message), kind] {
     const Bytes mpdu = build_downlink_beacon(message);
     csma_->send(mpdu, config_.rate, /*expect_ack=*/false,
-                [this, is_ack](const sim::Csma::Result&) {
-                  if (is_ack) {
-                    ++stats_.acks_sent;
-                  } else {
-                    ++stats_.downlinks_sent;
+                [this, kind](const sim::Csma::Result&) {
+                  switch (kind) {
+                    case TxKind::Ack: ++stats_.acks_sent; break;
+                    case TxKind::Report: ++stats_.reports_sent; break;
+                    case TxKind::Downlink: ++stats_.downlinks_sent; break;
                   }
                 });
   });

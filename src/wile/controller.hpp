@@ -31,6 +31,14 @@ struct ControllerConfig {
   /// device with an Ack downlink — the controller half of the senders'
   /// reliable mode.
   bool auto_ack = false;
+  /// Send a ChannelReport downlink (receiver-side loss estimate) into
+  /// each announced RX window — the controller half of the senders'
+  /// loss-adaptive redundancy. One report per announced sequence number.
+  bool channel_reports = false;
+  /// Sequence positions the loss estimate covers (1..64). Small windows
+  /// react fast, large ones smooth; 16 converges within a handful of
+  /// cycles yet rides out single losses.
+  int report_window = 16;
 };
 
 struct ControllerStats {
@@ -38,6 +46,7 @@ struct ControllerStats {
   std::uint64_t downlinks_sent = 0;
   std::uint64_t windows_seen = 0;
   std::uint64_t acks_sent = 0;
+  std::uint64_t reports_sent = 0;
 };
 
 class Controller : public sim::MediumClient {
@@ -59,9 +68,24 @@ class Controller : public sim::MediumClient {
   [[nodiscard]] bool rx_enabled() const override;
 
  private:
+  enum class TxKind { Downlink, Ack, Report };
+
+  /// Wrap-safe per-device reception tracking, the input to
+  /// ChannelReports: a 64-bit seen bitmap over the most recent uplink
+  /// sequence numbers (mirrors Receiver's DeviceInfo).
+  struct Track {
+    std::uint32_t last_sequence = 0;
+    std::uint64_t recent_seen = 1;
+    std::uint32_t span = 1;  // sequence positions observed, capped at 64
+    std::uint32_t last_reported_announce = 0;
+    bool reported = false;
+  };
+
   void inject_downlink(std::uint32_t device_id, const RxWindow& window);
-  void schedule_injection(const RxWindow& window, Message message, bool is_ack);
+  void schedule_injection(const RxWindow& window, Message message, TxKind kind);
   [[nodiscard]] Bytes build_downlink_beacon(const Message& message);
+  void update_track(Track& track, std::uint32_t sequence);
+  [[nodiscard]] ChannelReport make_report(const Track& track) const;
 
   sim::Scheduler& scheduler_;
   sim::Medium& medium_;
@@ -75,6 +99,7 @@ class Controller : public sim::MediumClient {
 
   std::unordered_map<std::uint32_t, std::deque<Bytes>> queued_;
   std::unordered_map<std::uint32_t, std::uint32_t> downlink_seq_;
+  std::unordered_map<std::uint32_t, Track> tracks_;
   std::uint16_t seq_ctl_ = 0;
   ControllerStats stats_;
 };

@@ -24,6 +24,16 @@ enum class MessageType : std::uint8_t {
   /// 4-byte little-endian payload is the acknowledged sequence number.
   /// Rides RX windows like any Downlink and enables reliable mode.
   Ack = 5,
+  /// Cross-cycle erasure coding: the payload is the XOR of the last K
+  /// uplink message payloads (see RecoveryPayload in codec.hpp). A
+  /// receiver that missed exactly one covered message reconstructs it
+  /// without any retransmission. Uses its own sequence space so it never
+  /// perturbs gap-based loss estimates.
+  Recovery = 6,
+  /// Controller -> device receiver-side loss estimate (see
+  /// ChannelReport in codec.hpp). Rides RX windows like Acks and drives
+  /// the sender's loss-adaptive redundancy tiers.
+  ChannelReport = 7,
 };
 
 /// Two-way extension (§6): the device announces that it will listen for

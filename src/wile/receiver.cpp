@@ -6,12 +6,22 @@
 
 namespace wile::core {
 
+namespace {
+/// Serial-number arithmetic (RFC 1982 style): how far `a` is ahead of
+/// `b` in the 32-bit circular sequence space. Positive = newer, even
+/// across the uint32 wrap.
+std::int32_t seq_ahead(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b);
+}
+}  // namespace
+
 Receiver::Receiver(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
                    ReceiverConfig config)
     : scheduler_(scheduler),
       medium_(medium),
       config_(std::move(config)),
-      codec_(config_.key ? Codec{*config_.key} : Codec{}) {
+      codec_(config_.key ? Codec{*config_.key} : Codec{}),
+      reassembler_(config_.max_partials) {
   node_id_ = medium_.attach(this, position);
 }
 
@@ -86,40 +96,181 @@ std::string Receiver::devices_csv() const {
 }
 
 void Receiver::accept_fragment(const Fragment& fragment, const RxMeta& meta) {
+  if (fragment.parity) ++stats_.parity_beacons;
   auto message = reassembler_.add(fragment);
+  stats_.partials_evicted = reassembler_.partials_evicted();
+  stats_.recovered = reassembler_.parity_recoveries() + cross_recovered_;
   if (!message) return;
 
-  auto [it, inserted] = devices_.try_emplace(message->device_id);
+  if (message->type == MessageType::Recovery) {
+    if (auto payload = decode_recovery_payload(message->data)) {
+      handle_recovery(message->device_id, message->sequence, *payload, meta);
+    }
+    return;
+  }
+  if (message->type == MessageType::ChannelReport) {
+    // Controller-side downlink control traffic: surface it but keep it
+    // out of the uplink registry (it rides the downlink sequence space).
+    if (callback_) callback_(*message, meta);
+    return;
+  }
+  deliver(*message, meta, /*recovered=*/false);
+  drain_pending(message->device_id, meta);
+}
+
+bool Receiver::register_message(const Message& message, const RxMeta& meta) {
+  auto [it, inserted] = devices_.try_emplace(message.device_id);
   DeviceInfo& dev = it->second;
   if (inserted) {
-    dev.device_id = message->device_id;
+    dev.device_id = message.device_id;
     dev.first_seen = meta.received_at;
-    dev.last_sequence = message->sequence;
+    dev.last_sequence = message.sequence;
     dev.recent_seen = 1;
-  } else if (message->sequence > dev.last_sequence) {
-    const std::uint32_t gap = message->sequence - dev.last_sequence;
-    dev.estimated_losses += gap - 1;
-    dev.recent_seen = (gap >= 64) ? 1 : ((dev.recent_seen << gap) | 1);
-    dev.last_sequence = message->sequence;
   } else {
-    // Late arrival (out of order, or a retransmission after a gap was
-    // already charged as lost). If we have it, it's a duplicate; if not,
-    // it fills its gap and the loss estimate is walked back.
-    const std::uint32_t age = dev.last_sequence - message->sequence;
-    if (age >= 64) return;  // beyond the tracking horizon
-    const std::uint64_t bit = std::uint64_t{1} << age;
-    if (dev.recent_seen & bit) {
-      ++stats_.duplicates;
-      return;
+    // Serial-number comparison so the uint32 sequence wrap neither
+    // miscounts ~2^32 losses nor mistakes post-wrap messages for stale
+    // duplicates.
+    const std::int32_t ahead = seq_ahead(message.sequence, dev.last_sequence);
+    if (ahead > 0) {
+      const auto gap = static_cast<std::uint32_t>(ahead);
+      dev.estimated_losses += gap - 1;
+      dev.recent_seen = (gap >= 64) ? 1 : ((dev.recent_seen << gap) | 1);
+      dev.last_sequence = message.sequence;
+    } else {
+      // Late arrival (out of order, or a retransmission after a gap was
+      // already charged as lost). If we have it, it's a duplicate; if
+      // not, it fills its gap and the loss estimate is walked back.
+      const auto age = static_cast<std::uint32_t>(-ahead);
+      if (age >= 64) return false;  // beyond the tracking horizon
+      const std::uint64_t bit = std::uint64_t{1} << age;
+      if (dev.recent_seen & bit) {
+        ++stats_.duplicates;
+        return false;
+      }
+      dev.recent_seen |= bit;
+      if (dev.estimated_losses > 0) --dev.estimated_losses;
     }
-    dev.recent_seen |= bit;
-    if (dev.estimated_losses > 0) --dev.estimated_losses;
   }
   dev.last_seen = meta.received_at;
   dev.last_rssi_dbm = meta.rssi_dbm;
   ++dev.messages;
   ++stats_.messages;
-  if (callback_) callback_(*message, meta);
+  return true;
+}
+
+void Receiver::deliver(const Message& message, const RxMeta& meta, bool recovered) {
+  if (!register_message(message, meta)) return;
+  if (recovered) {
+    ++cross_recovered_;
+    stats_.recovered = reassembler_.parity_recoveries() + cross_recovered_;
+  }
+  // Only uplink payloads feed the XOR cache: recovery groups cover the
+  // device's own sequence space, not controller Acks/Downlinks.
+  if (message.type == MessageType::Telemetry || message.type == MessageType::Event ||
+      message.type == MessageType::Probe) {
+    FecState& fec = fec_[message.device_id];
+    fec.cache.push_back({message.sequence, message.type, message.data});
+    if (fec.cache.size() > kPayloadCacheSize) fec.cache.erase(fec.cache.begin());
+  }
+  if (callback_) callback_(message, meta);
+}
+
+void Receiver::handle_recovery(std::uint32_t device_id, std::uint32_t recovery_seq,
+                               const RecoveryPayload& payload, const RxMeta& meta) {
+  FecState& fec = fec_[device_id];
+  if (fec.last_recovery_seq && seq_ahead(recovery_seq, *fec.last_recovery_seq) <= 0) {
+    return;  // repeat of a recovery beacon already processed
+  }
+  fec.last_recovery_seq = recovery_seq;
+  ++stats_.recovery_beacons;
+  if (!attempt_recovery(device_id, payload, meta)) {
+    // Two or more covered messages are still missing: park the beacon —
+    // a later beacon (overlapping group) may recover one and make this
+    // group decodable.
+    fec.pending.push_back(payload);
+    if (fec.pending.size() > kMaxPendingRecoveries) fec.pending.erase(fec.pending.begin());
+  } else {
+    drain_pending(device_id, meta);
+  }
+}
+
+bool Receiver::attempt_recovery(std::uint32_t device_id, const RecoveryPayload& payload,
+                                const RxMeta& meta) {
+  const auto dev_it = devices_.find(device_id);
+  const DeviceInfo* dev = dev_it == devices_.end() ? nullptr : &dev_it->second;
+
+  std::vector<std::size_t> missing;
+  std::vector<std::size_t> present;
+  for (std::size_t i = 0; i < payload.entries.size(); ++i) {
+    const std::uint32_t seq = payload.base_sequence + static_cast<std::uint32_t>(i);
+    if (dev == nullptr) {
+      missing.push_back(i);
+      continue;
+    }
+    const std::int32_t ahead = seq_ahead(seq, dev->last_sequence);
+    if (ahead > 0) {
+      missing.push_back(i);  // newer than anything received: lost in flight
+      continue;
+    }
+    const auto age = static_cast<std::uint32_t>(-ahead);
+    if (age >= 64) return true;  // beyond the horizon: unrecoverable, spend it
+    if (dev->recent_seen & (std::uint64_t{1} << age)) {
+      present.push_back(i);
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.size() != 1) return missing.empty();
+
+  const std::size_t idx = missing.front();
+  const std::size_t length = payload.entries[idx].length;
+  if (length > payload.xor_block.size()) return true;  // malformed: spend it
+
+  Bytes data = payload.xor_block;
+  const FecState& fec = fec_[device_id];
+  for (const std::size_t i : present) {
+    const std::uint32_t seq = payload.base_sequence + static_cast<std::uint32_t>(i);
+    const CachedPayload* cached = nullptr;
+    for (const CachedPayload& c : fec.cache) {
+      if (c.sequence == seq) {
+        cached = &c;
+        break;
+      }
+    }
+    // Received but no longer cached (or delivered before this receiver's
+    // cache horizon): the XOR input is gone for good.
+    if (cached == nullptr) return true;
+    if (cached->data.size() > data.size()) return true;  // inconsistent: spend it
+    for (std::size_t b = 0; b < cached->data.size(); ++b) data[b] ^= cached->data[b];
+  }
+  data.resize(length);
+
+  Message recovered;
+  recovered.device_id = device_id;
+  recovered.sequence = payload.base_sequence + static_cast<std::uint32_t>(idx);
+  recovered.type = payload.entries[idx].type;
+  recovered.data = std::move(data);
+  deliver(recovered, meta, /*recovered=*/true);
+  return true;
+}
+
+void Receiver::drain_pending(std::uint32_t device_id, const RxMeta& meta) {
+  FecState& fec = fec_[device_id];
+  bool progress = true;
+  while (progress && !fec.pending.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < fec.pending.size();) {
+      // Copy: attempt_recovery -> deliver may not touch pending, but the
+      // vector can still reallocate via fec_ lookups elsewhere.
+      const RecoveryPayload payload = fec.pending[i];
+      if (attempt_recovery(device_id, payload, meta)) {
+        fec.pending.erase(fec.pending.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
 }
 
 }  // namespace wile::core

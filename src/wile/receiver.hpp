@@ -28,6 +28,10 @@ struct ReceiverConfig {
   /// Accept only beacons using the hidden-SSID discipline (reject
   /// spoofed-SSID senders). Off by default: a monitor sees everything.
   bool require_hidden_ssid = false;
+  /// Reassembly memory bound: at most this many in-progress fragmented
+  /// messages are held; beyond it the stalest partial is evicted
+  /// (surfaced as ReceiverStats::partials_evicted).
+  std::size_t max_partials = Reassembler::kDefaultMaxPartials;
 };
 
 struct ReceiverStats {
@@ -40,6 +44,13 @@ struct ReceiverStats {
   std::uint64_t decrypt_failures = 0;
   std::uint64_t fcs_failures = 0;         // corrupt radio frames observed
   std::uint64_t collisions_observed = 0;
+  // --- FEC ---
+  std::uint64_t parity_beacons = 0;   // parity elements seen
+  std::uint64_t recovery_beacons = 0; // distinct Recovery messages seen
+  /// Messages reconstructed without retransmission: group-parity XOR
+  /// plus cross-cycle recovery-beacon decodes. Counted in `messages` too.
+  std::uint64_t recovered = 0;
+  std::uint64_t partials_evicted = 0; // reassembler memory-bound drops
 };
 
 struct DeviceInfo {
@@ -88,7 +99,42 @@ class Receiver : public sim::MediumClient {
   [[nodiscard]] bool rx_enabled() const override;
 
  private:
+  /// How many payloads (and how far back in sequence space) the FEC
+  /// machinery can reach: matches DeviceInfo::recent_seen's 64-bit
+  /// horizon, so anything the bitmap remembers is XOR-reconstructable.
+  static constexpr std::size_t kPayloadCacheSize = 64;
+  static constexpr std::size_t kMaxPendingRecoveries = 8;
+
+  struct CachedPayload {
+    std::uint32_t sequence = 0;
+    MessageType type = MessageType::Telemetry;
+    Bytes data;
+  };
+  /// Per-device erasure-decoding state: recently delivered payloads (the
+  /// XOR inputs) and recovery beacons still waiting for a second loss in
+  /// their group to be filled by a later beacon or delivery.
+  struct FecState {
+    std::vector<CachedPayload> cache;
+    std::vector<RecoveryPayload> pending;
+    std::optional<std::uint32_t> last_recovery_seq;
+  };
+
   void accept_fragment(const Fragment& fragment, const RxMeta& meta);
+  /// Registry update (dedup, gap/loss accounting, wrap-safe). Returns
+  /// false for duplicates and beyond-horizon stragglers.
+  bool register_message(const Message& message, const RxMeta& meta);
+  /// Registry + cache + user callback for one completed message.
+  void deliver(const Message& message, const RxMeta& meta, bool recovered);
+  void handle_recovery(std::uint32_t device_id, std::uint32_t recovery_seq,
+                       const RecoveryPayload& payload, const RxMeta& meta);
+  /// Try to decode one recovery group. Returns true when the beacon is
+  /// spent (recovered something, nothing missing, or unrecoverable) and
+  /// false when it should stay pending.
+  bool attempt_recovery(std::uint32_t device_id, const RecoveryPayload& payload,
+                        const RxMeta& meta);
+  /// Re-try pending recovery beacons until no further progress (one
+  /// recovered message can complete another group).
+  void drain_pending(std::uint32_t device_id, const RxMeta& meta);
 
   sim::Scheduler& scheduler_;
   sim::Medium& medium_;
@@ -99,6 +145,8 @@ class Receiver : public sim::MediumClient {
   MessageCallback callback_;
   ReceiverStats stats_;
   std::map<std::uint32_t, DeviceInfo> devices_;
+  std::map<std::uint32_t, FecState> fec_;
+  std::uint64_t cross_recovered_ = 0;  // recovery-beacon decodes (not parity)
 };
 
 }  // namespace wile::core

@@ -1,5 +1,7 @@
 #include "wile/sender.hpp"
 
+#include <algorithm>
+
 #include "dot11/frame.hpp"
 #include "dot11/mgmt.hpp"
 
@@ -25,6 +27,7 @@ Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position pos
   if (config_.mac.is_zero()) {
     config_.mac = MacAddress::from_seed(0xB13C000ULL + config_.device_id);
   }
+  sequence_ = config_.initial_sequence;
   node_id_ = medium_.attach(this, position);
   sim::CsmaConfig csma_cfg;
   csma_cfg.tx_power_dbm = config_.tx_power_dbm;
@@ -135,6 +138,48 @@ Bytes Sender::build_ssid_stuffed_mpdu(const std::string& stuffed_ssid) {
   return dot11::assemble_mpdu(h, beacon.encode());
 }
 
+RedundancyTier Sender::active_tier() const {
+  if (config_.adaptation && !config_.adaptation->tiers.empty()) {
+    return config_.adaptation->tiers[std::min(tier_, config_.adaptation->tiers.size() - 1)];
+  }
+  RedundancyTier tier;
+  tier.repeats = config_.repeats;
+  tier.fec_parity = config_.fec_parity;
+  tier.recovery_k = config_.recovery_k;
+  tier.recovery_stride = config_.recovery_stride;
+  return tier;
+}
+
+std::optional<Message> Sender::maybe_recovery_message(const RedundancyTier& tier) {
+  const auto k = static_cast<std::size_t>(
+      std::clamp<int>(tier.recovery_k, 0, static_cast<int>(kMaxRecoveryGroup)));
+  if (k == 0 || recent_sent_.size() < k) return std::nullopt;
+  const int stride = tier.recovery_stride > 0 ? tier.recovery_stride
+                                              : std::max<int>(1, static_cast<int>(k) / 2);
+  if (msgs_since_recovery_ < stride) return std::nullopt;
+  msgs_since_recovery_ = 0;
+
+  RecoveryPayload payload;
+  payload.base_sequence = recent_sent_[recent_sent_.size() - k].sequence;
+  for (std::size_t i = recent_sent_.size() - k; i < recent_sent_.size(); ++i) {
+    const RecentMessage& r = recent_sent_[i];
+    payload.entries.push_back(
+        {r.type, static_cast<std::uint16_t>(std::min<std::size_t>(r.data.size(), 0xffff))});
+    if (r.data.size() > payload.xor_block.size()) payload.xor_block.resize(r.data.size());
+  }
+  for (std::size_t i = recent_sent_.size() - k; i < recent_sent_.size(); ++i) {
+    const Bytes& d = recent_sent_[i].data;
+    for (std::size_t b = 0; b < d.size(); ++b) payload.xor_block[b] ^= d[b];
+  }
+
+  Message m;
+  m.device_id = config_.device_id;
+  m.sequence = recovery_sequence_++;
+  m.type = MessageType::Recovery;
+  m.data = encode_recovery_payload(payload);
+  return m;
+}
+
 void Sender::begin_cycle(Bytes data, SendCallback done) {
   ++cycles_;
   cycle_done_ = std::move(done);
@@ -145,8 +190,25 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   cycle_failed_ = false;
   cycle_acked_ = false;
   cycle_retransmission_ = false;
+  cycle_parity_beacons_ = 0;
+  cycle_parity_airtime_ = Duration{0};
+
+  // No-controller fallback: with ChannelReports silent for long enough,
+  // stop waiting for closed-loop guidance and run the configured
+  // open-loop schedule.
+  if (config_.adaptation && config_.adaptation->fallback_after_cycles > 0 &&
+      !fallback_active_ &&
+      cycles_since_report_ >=
+          static_cast<std::uint64_t>(config_.adaptation->fallback_after_cycles) &&
+      !config_.adaptation->tiers.empty()) {
+    fallback_active_ = true;
+    tier_ = std::min(config_.adaptation->fallback_tier, config_.adaptation->tiers.size() - 1);
+  }
+  ++cycles_since_report_;
+  const RedundancyTier tier = active_tier();
 
   Message message;
+  bool fresh = false;
   if (will_retransmit()) {
     // Reliable mode: repeat the unacknowledged message, same sequence.
     message = *unacked_;
@@ -163,31 +225,56 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
     message.type = MessageType::Telemetry;
     message.data = std::move(data);
     message.rx_window = config_.rx_window;
+    fresh = true;
   }
   if (config_.reliable) {
     unacked_ = message;
     ++unacked_attempts_;
   }
 
-  std::vector<Bytes> mpdus;
+  const bool fec_usable = !config_.ssid_stuffing;
+  if (fresh && fec_usable) {
+    recent_sent_.push_back({message.sequence, message.type, message.data});
+    if (recent_sent_.size() > kMaxRecoveryGroup) {
+      recent_sent_.erase(recent_sent_.begin());
+    }
+    ++msgs_since_recovery_;
+  }
+
+  std::vector<CycleMpdu> mpdus;
   try {
-    std::vector<Bytes> once;
+    std::vector<CycleMpdu> once;
     if (config_.ssid_stuffing) {
       if (auto stuffed = encode_ssid_stuffed(message)) {
-        once.push_back(build_ssid_stuffed_mpdu(*stuffed));
+        once.push_back({build_ssid_stuffed_mpdu(*stuffed), false});
       } else {
         cycle_failed_ = true;  // message does not fit the SSID field
       }
     } else {
-      for (const auto& ie : codec_.encode(message)) {
-        once.push_back(build_beacon_mpdu(ie));
+      const auto elements = codec_.encode(message, tier.fec_parity);
+      // With parity on, a fragmented message's last element is the
+      // parity (encode() only appends one when there are >= 2 data
+      // fragments, so a parity train always has >= 3 elements).
+      const std::size_t parity_from =
+          tier.fec_parity && elements.size() >= 3 ? elements.size() - 1 : elements.size();
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        once.push_back({build_beacon_mpdu(elements[i]), i >= parity_from});
       }
     }
     // Open-loop reliability: repeat the whole fragment train. Receivers
     // drop the duplicates by (device, sequence).
-    const int repeats = std::max(config_.repeats, 1);
+    const int repeats = std::max(tier.repeats, 1);
     for (int r = 0; r < repeats; ++r) {
       mpdus.insert(mpdus.end(), once.begin(), once.end());
+    }
+    // Cross-cycle FEC: one (unrepeated) recovery beacon when due.
+    if (fresh && fec_usable) {
+      if (auto recovery = maybe_recovery_message(tier)) {
+        for (const auto& ie : codec_.encode(*recovery)) {
+          mpdus.push_back({build_beacon_mpdu(ie), true});
+        }
+        ++recovery_beacons_sent_;
+      }
     }
   } catch (const std::invalid_argument&) {
     cycle_failed_ = true;
@@ -208,15 +295,19 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   });
 }
 
-void Sender::inject_fragments(std::vector<Bytes> mpdus, std::size_t index) {
+void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
   if (index >= mpdus.size()) {
     after_last_beacon();
     return;
   }
-  const Bytes& mpdu = mpdus[index];
+  const Bytes& mpdu = mpdus[index].mpdu;
   const Duration airtime = phy::frame_airtime(mpdu.size(), config_.rate, config_.band);
   cycle_airtime_ += airtime;
   ++cycle_beacons_;
+  if (mpdus[index].fec) {
+    cycle_parity_airtime_ += airtime;
+    ++cycle_parity_beacons_;
+  }
 
   if (config_.use_csma) {
     csma_->send(mpdu, config_.rate, /*expect_ack=*/false,
@@ -270,6 +361,12 @@ void Sender::finish_cycle() {
     const Duration tx_time =
         cycle_airtime_ + Duration{config_.power.tx_ramp.count() * cycle_beacons_};
     report.tx_only_energy = tx_power_draw() * tx_time;
+    report.parity_beacons = cycle_parity_beacons_;
+    report.parity_airtime = cycle_parity_airtime_;
+    report.parity_tx_energy =
+        tx_power_draw() * (cycle_parity_airtime_ +
+                           Duration{config_.power.tx_ramp.count() * cycle_parity_beacons_});
+    report.tier = tier_;
     report.active_time = scheduler_.now() - wake_time_;
     report.cycle_energy = timeline_.energy_between(wake_time_, scheduler_.now());
     report.downlinks_received = cycle_downlinks_;
@@ -292,6 +389,10 @@ void Sender::on_frame(const sim::RxFrame& frame) {
   if (!beacon) return;
   for (const Fragment& f : codec_.decode_all(beacon->ies)) {
     if (f.device_id != config_.device_id) continue;
+    if (f.type == MessageType::ChannelReport) {
+      if (auto report = decode_channel_report(f.data)) on_channel_report(*report);
+      continue;
+    }
     if (f.type == MessageType::Ack) {
       // Reliable mode: match the acknowledged sequence number.
       if (config_.reliable && unacked_ && f.data.size() == 4) {
@@ -312,6 +413,39 @@ void Sender::on_frame(const sim::RxFrame& frame) {
     m.data = f.data;
     ++cycle_downlinks_;
     if (downlink_cb_) downlink_cb_(m);
+  }
+}
+
+void Sender::on_channel_report(const ChannelReport& report) {
+  ++reports_received_;
+  cycles_since_report_ = 0;
+  fallback_active_ = false;  // a controller is audible again
+  if (!config_.adaptation || config_.adaptation->tiers.empty()) return;
+  const AdaptationConfig& a = *config_.adaptation;
+
+  const double loss_pct = static_cast<double>(report.loss_permille) / 10.0;
+  if (loss_pct >= a.raise_loss_pct) {
+    clear_streak_ = 0;
+    if (++raise_streak_ >= std::max(a.raise_after, 1)) {
+      raise_streak_ = 0;
+      if (tier_ + 1 < a.tiers.size()) {
+        ++tier_;
+        ++tier_raises_;
+      }
+    }
+  } else if (loss_pct <= a.clear_loss_pct) {
+    raise_streak_ = 0;
+    if (++clear_streak_ >= std::max(a.clear_after, 1)) {
+      clear_streak_ = 0;
+      if (tier_ > 0) {
+        --tier_;
+        ++tier_clears_;
+      }
+    }
+  } else {
+    // Hysteresis dead zone: hold the tier, restart both streaks.
+    raise_streak_ = 0;
+    clear_streak_ = 0;
   }
 }
 

@@ -38,6 +38,45 @@
 
 namespace wile::core {
 
+/// One open-loop redundancy operating point for the ack-less uplink:
+/// how many times each beacon train is repeated, whether fragmented
+/// messages carry an XOR parity element, and how often a cross-cycle
+/// Recovery beacon (XOR of the last `recovery_k` message payloads) is
+/// transmitted. The adaptation state machine moves between tiers based
+/// on controller ChannelReports; without adaptation the SenderConfig
+/// fields below define a single fixed tier.
+struct RedundancyTier {
+  int repeats = 1;
+  bool fec_parity = false;
+  /// Cross-cycle recovery group size; 0 disables recovery beacons.
+  int recovery_k = 0;
+  /// Send a recovery beacon every `stride` fresh messages, each covering
+  /// the last `recovery_k`. 0 = recovery_k / 2 (min 1): overlapping
+  /// groups, so every message is covered twice and two-loss patterns
+  /// that fall across group boundaries remain recoverable.
+  int recovery_stride = 0;
+};
+
+/// Loss-adaptive redundancy (closed-loop tuning of open-loop FEC): the
+/// sender listens for controller ChannelReports in its RX windows and
+/// walks up `tiers` while the reported loss stays above
+/// `raise_loss_pct`, back down when it stays below `clear_loss_pct`.
+/// The band between the two thresholds is a hysteresis dead zone: both
+/// streaks reset, the tier holds, and the sender cannot oscillate while
+/// an estimate decays through the middle. With no controller audible for
+/// `fallback_after_cycles` duty cycles the sender switches to the
+/// configured open-loop `fallback_tier` (it cannot know the channel, so
+/// it pays for scheduled redundancy instead).
+struct AdaptationConfig {
+  std::vector<RedundancyTier> tiers;  // base tier first, max redundancy last
+  double raise_loss_pct = 10.0;       // report >= this: raise pressure
+  double clear_loss_pct = 2.0;        // report <= this: clear pressure
+  int raise_after = 1;                // consecutive high reports to raise
+  int clear_after = 2;                // consecutive low reports to clear
+  int fallback_after_cycles = 0;      // 0 = never fall back
+  std::size_t fallback_tier = 0;
+};
+
 struct SenderConfig {
   std::uint32_t device_id = 1;
   /// Locally-administered MAC the fake beacons claim as their BSSID.
@@ -94,6 +133,23 @@ struct SenderConfig {
   bool reliable = false;
   int reliable_max_attempts = 3;
 
+  /// First uplink sequence number (devices persisting their counter
+  /// across reboots resume mid-space; also pins wraparound tests).
+  std::uint32_t initial_sequence = 0;
+
+  /// Fixed FEC tier (see RedundancyTier): parity elements on fragmented
+  /// messages and periodic cross-cycle Recovery beacons. Ignored for the
+  /// ssid_stuffing arm (no vendor elements to protect).
+  bool fec_parity = false;
+  int recovery_k = 0;
+  int recovery_stride = 0;
+
+  /// Loss-adaptive redundancy: overrides repeats/fec_parity/recovery_*
+  /// with the active tier. Requires rx_window (reports arrive like Acks)
+  /// and a controller with channel_reports enabled to leave the base
+  /// tier — except via the no-controller fallback.
+  std::optional<AdaptationConfig> adaptation;
+
   power::Esp32PowerProfile power{};
 };
 
@@ -113,6 +169,14 @@ struct SendReport {
   Joules cycle_energy{};
   Duration active_time{};
   std::size_t downlinks_received = 0;  // during this cycle's RX window
+  /// FEC accounting: beacons/airtime/energy spent on redundancy this
+  /// cycle (parity elements + recovery beacons). Included in the totals
+  /// above; broken out so benches can price the erasure code exactly.
+  int parity_beacons = 0;
+  Duration parity_airtime{};
+  Joules parity_tx_energy{};
+  /// Active redundancy tier index (0 unless adaptation raised it).
+  std::size_t tier = 0;
 };
 
 class Sender : public sim::MediumClient {
@@ -150,6 +214,18 @@ class Sender : public sim::MediumClient {
     return dropped_unacked_;
   }
 
+  // --- FEC / adaptation observability ---------------------------------------
+  /// Active redundancy tier index (always 0 without adaptation).
+  [[nodiscard]] std::size_t current_tier() const { return tier_; }
+  [[nodiscard]] std::uint64_t reports_received() const { return reports_received_; }
+  [[nodiscard]] std::uint64_t tier_raises() const { return tier_raises_; }
+  [[nodiscard]] std::uint64_t tier_clears() const { return tier_clears_; }
+  /// True while running the open-loop fallback tier (controller silent).
+  [[nodiscard]] bool fallback_active() const { return fallback_active_; }
+  [[nodiscard]] std::uint64_t recovery_beacons_sent() const {
+    return recovery_beacons_sent_;
+  }
+
   /// TX power draw (P_tx of Eq. 1) for this device profile.
   [[nodiscard]] Watts tx_power_draw() const {
     return config_.power.supply * config_.power.radio_tx;
@@ -166,9 +242,20 @@ class Sender : public sim::MediumClient {
  private:
   enum class Phase { DeepSleep, Init, Tx, RxWindow, Shutdown };
 
+  /// One frame of this cycle's train; `fec` marks pure-redundancy
+  /// beacons (parity elements, recovery beacons) for energy accounting.
+  struct CycleMpdu {
+    Bytes mpdu;
+    bool fec = false;
+  };
+
   void begin_cycle(Bytes data, SendCallback done);
-  void inject_fragments(std::vector<Bytes> mpdus, std::size_t index);
+  void inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index);
   void after_last_beacon();
+  [[nodiscard]] RedundancyTier active_tier() const;
+  /// Build this cycle's Recovery beacon if one is due, else nullopt.
+  [[nodiscard]] std::optional<Message> maybe_recovery_message(const RedundancyTier& tier);
+  void on_channel_report(const ChannelReport& report);
   void finish_cycle();
   void schedule_next_cycle();
   [[nodiscard]] Bytes build_beacon_mpdu(const dot11::InfoElement& vendor_ie);
@@ -202,6 +289,30 @@ class Sender : public sim::MediumClient {
   bool cycle_failed_ = false;
   bool cycle_acked_ = false;
   bool cycle_retransmission_ = false;
+  int cycle_parity_beacons_ = 0;
+  Duration cycle_parity_airtime_{};
+
+  // FEC: payloads of the last kMaxRecoveryGroup fresh messages, for
+  // cross-cycle recovery beacons.
+  struct RecentMessage {
+    std::uint32_t sequence = 0;
+    MessageType type = MessageType::Telemetry;
+    Bytes data;
+  };
+  std::vector<RecentMessage> recent_sent_;
+  int msgs_since_recovery_ = 0;
+  std::uint32_t recovery_sequence_ = 0;  // own space; never perturbs loss gaps
+  std::uint64_t recovery_beacons_sent_ = 0;
+
+  // adaptation state machine
+  std::size_t tier_ = 0;
+  int raise_streak_ = 0;
+  int clear_streak_ = 0;
+  std::uint64_t cycles_since_report_ = 0;
+  bool fallback_active_ = false;
+  std::uint64_t reports_received_ = 0;
+  std::uint64_t tier_raises_ = 0;
+  std::uint64_t tier_clears_ = 0;
 
   // reliable mode
   std::optional<Message> unacked_;
