@@ -7,10 +7,17 @@
 // gateway decoding thousands of Wi-LE beacons per second).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "crypto/aes_modes.hpp"
 #include "crypto/pbkdf2.hpp"
 #include "crypto/sha1.hpp"
 #include "dot11/frame.hpp"
+#include "phy/channel.hpp"
+#include "sim/medium.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "wile/codec.hpp"
@@ -122,6 +129,130 @@ void BM_SchedulerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerChurn);
+
+void BM_SchedulerChurnCancel(benchmark::State& state) {
+  // Cancel-heavy workload: every CSMA backoff and every guard timer in
+  // the protocol stack schedules-then-cancels. Two of every three
+  // events here are cancelled before they fire.
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    int fired = 0;
+    std::vector<sim::EventId> ids;
+    ids.reserve(3000);
+    for (int i = 0; i < 3000; ++i) {
+      ids.push_back(scheduler.schedule_in(usec(i), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 3000; ++i) {
+      if (i % 3 != 0) scheduler.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    scheduler.run_until_idle();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 3000);
+}
+BENCHMARK(BM_SchedulerChurnCancel);
+
+void BM_SchedulerRunUntil(benchmark::State& state) {
+  // Bounded-horizon stepping, the fleet-bench inner loop: a recurring
+  // event reschedules itself while run_until repeatedly hits deadlines
+  // with work left in the queue.
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    std::uint64_t ticks = 0;
+    std::function<void()> tick = [&] {
+      ++ticks;
+      scheduler.schedule_in(usec(10), tick);
+    };
+    scheduler.schedule_in(usec(0), tick);
+    for (int horizon = 1; horizon <= 100; ++horizon) {
+      scheduler.run_until(TimePoint{usec(horizon * 100)});
+    }
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerRunUntil);
+
+class CountingClient final : public sim::MediumClient {
+ public:
+  void on_frame(const sim::RxFrame& frame) override {
+    bytes += frame.mpdu.size();
+    ++frames;
+  }
+  void on_corrupt_frame(const sim::RxFrame&, bool) override { ++corrupt; }
+  [[nodiscard]] bool rx_enabled() const override { return true; }
+  std::uint64_t frames = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t bytes = 0;
+};
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  // One transmitter, N listeners packed within audible range: the
+  // delivery fan-out cost per frame (spatial query + shared-buffer
+  // handoff + PER draw per receiver).
+  const int n_rx = static_cast<int>(state.range(0));
+  sim::Scheduler scheduler;
+  phy::Channel channel{};
+  sim::Medium medium{scheduler, channel, Rng{17}};
+
+  CountingClient tx_client;
+  const sim::NodeId tx = medium.attach(&tx_client, {0, 0});
+  std::vector<std::unique_ptr<CountingClient>> listeners;
+  const int side = static_cast<int>(std::ceil(std::sqrt(n_rx)));
+  for (int i = 0; i < n_rx; ++i) {
+    listeners.push_back(std::make_unique<CountingClient>());
+    // 0.5 m spacing keeps even the 1000-listener square inside ~25 m
+    // carrier-sense range of the transmitter.
+    medium.attach(listeners.back().get(),
+                  {1.0 + static_cast<double>(i % side) * 0.5,
+                   static_cast<double>(i / side) * 0.5});
+  }
+
+  const Bytes payload(200, 0xBE);
+  for (auto _ : state) {
+    sim::TxRequest req;
+    req.mpdu = payload;
+    req.airtime = usec(100);
+    req.rate = phy::WifiRate::Mcs7Sgi;
+    medium.transmit(tx, std::move(req));
+    scheduler.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * n_rx);
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(100)->Arg(1000);
+
+void BM_MediumSparseFleet(benchmark::State& state) {
+  // N nodes spread far apart, one transmission: the spatial grid should
+  // make delivery cost independent of fleet size (the dense scan was
+  // O(N) per transmission).
+  const int n_nodes = static_cast<int>(state.range(0));
+  sim::Scheduler scheduler;
+  phy::Channel channel{};
+  sim::Medium medium{scheduler, channel, Rng{18}};
+
+  std::vector<std::unique_ptr<CountingClient>> nodes;
+  const int side = static_cast<int>(std::ceil(std::sqrt(n_nodes)));
+  sim::NodeId tx{};
+  for (int i = 0; i < n_nodes; ++i) {
+    nodes.push_back(std::make_unique<CountingClient>());
+    // 100 m spacing: everyone is out of earshot of everyone.
+    const sim::NodeId id = medium.attach(
+        nodes.back().get(),
+        {static_cast<double>(i % side) * 100.0, static_cast<double>(i / side) * 100.0});
+    if (i == 0) tx = id;
+  }
+
+  const Bytes payload(32, 0xCD);
+  for (auto _ : state) {
+    sim::TxRequest req;
+    req.mpdu = payload;
+    req.airtime = usec(50);
+    medium.transmit(tx, std::move(req));
+    scheduler.run_until_idle();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumSparseFleet)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

@@ -1,0 +1,192 @@
+// Fleet-scale stress bench for the event core (DESIGN.md §9): N Wi-LE
+// senders on a 5 m grid duty-cycling every 60 s, plus one gateway
+// receiver per 2500 devices, simulated for an hour. Exercises exactly
+// the paths the fleet refactor optimised — scheduler churn from CSMA
+// and duty-cycle timers, spatial delivery queries over a mostly
+// out-of-earshot fleet, and shared frame buffers on the dense
+// neighbourhoods around each sender.
+//
+// Writes BENCH_scale_fleet.json: per-N events/sec, sim/wall speed
+// ratio, Medium stats and peak RSS. The transmission/delivery/message
+// counts double as a cross-version determinism oracle: they are
+// seed-determined, so any event-core change that alters them broke
+// reproducibility (see tests/test_determinism.cpp).
+//
+// Usage: scale_fleet [--quick] [--out PATH]
+//   --quick   N=1000 for 600 simulated seconds (CI-sized)
+//   default   N in {1000, 10000, 100000}, one simulated hour each
+//
+// Peak RSS is process-wide and monotone, so runs are ordered smallest
+// N first and each row reports the high-water mark up to that run.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wile/receiver.hpp"
+#include "wile/sender.hpp"
+
+using namespace wile;
+
+namespace {
+
+struct FleetResult {
+  int n = 0;
+  int sim_seconds = 0;
+  double wall_s = 0.0;
+  double ratio = 0.0;  // simulated seconds per wall second
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collision_losses = 0;
+  std::uint64_t messages = 0;
+  double rss_peak_mb = 0.0;
+};
+
+double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+FleetResult run_fleet(int n, int sim_seconds) {
+  sim::Scheduler scheduler;
+  sim::Medium medium{scheduler, phy::Channel{}, Rng{0xF1EE7}};
+
+  constexpr double kSpacingM = 5.0;
+  const int side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const double extent = side * kSpacingM;
+
+  Rng master{0xF1EE7C0DE};
+  std::vector<std::unique_ptr<core::Sender>> senders;
+  senders.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = static_cast<std::uint32_t>(i + 1);
+    cfg.period = seconds(60);
+    cfg.wake_jitter = msec(500);
+    // An hour of duty cycles would otherwise retain ~1000 power-phase
+    // segments per device; 64 keeps per-cycle queries exact and RSS flat
+    // (energy totals stay exact regardless — see PowerTimeline).
+    cfg.timeline_max_segments = 64;
+    const sim::Position pos{(i % side) * kSpacingM, (i / side) * kSpacingM};
+    senders.push_back(
+        std::make_unique<core::Sender>(scheduler, medium, pos, cfg, master.fork()));
+    // Stagger duty-cycle starts uniformly across one period so the fleet
+    // doesn't wake in a single thundering herd at t=0.
+    const auto start_us = static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(i) * 60'000'000ull) / static_cast<std::uint64_t>(n));
+    core::Sender* s = senders.back().get();
+    scheduler.schedule_at(TimePoint{usec(start_us)}, [s] {
+      s->start_duty_cycle([] { return Bytes(16, 0xA5); });
+    });
+  }
+
+  const int n_gw = std::max(1, n / 2500);
+  std::vector<std::unique_ptr<core::Receiver>> gateways;
+  std::uint64_t messages = 0;
+  for (int k = 0; k < n_gw; ++k) {
+    const double c = (k + 0.5) * extent / n_gw;  // along the diagonal
+    gateways.push_back(
+        std::make_unique<core::Receiver>(scheduler, medium, sim::Position{c, c}));
+    gateways.back()->set_message_callback(
+        [&messages](const core::Message&, const core::RxMeta&) { ++messages; });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  scheduler.run_until(TimePoint{seconds(sim_seconds)});
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  FleetResult r;
+  r.n = n;
+  r.sim_seconds = sim_seconds;
+  r.wall_s = wall_s;
+  r.ratio = sim_seconds / wall_s;
+  r.events = scheduler.events_run();
+  r.events_per_sec = static_cast<double>(r.events) / wall_s;
+  r.transmissions = medium.stats().transmissions;
+  r.deliveries = medium.stats().deliveries;
+  r.collision_losses = medium.stats().collision_losses;
+  r.messages = messages;
+  r.rss_peak_mb = peak_rss_mb();
+  return r;
+}
+
+void write_json(const std::vector<FleetResult>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror("scale_fleet: fopen");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scale_fleet\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FleetResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"n\": %d, \"sim_seconds\": %d, \"wall_seconds\": %.3f,\n"
+                 "     \"sim_wall_ratio\": %.1f, \"events\": %llu,\n"
+                 "     \"events_per_sec\": %.0f, \"transmissions\": %llu,\n"
+                 "     \"deliveries\": %llu, \"collision_losses\": %llu,\n"
+                 "     \"messages\": %llu, \"rss_peak_mb\": %.1f}%s\n",
+                 r.n, r.sim_seconds, r.wall_s, r.ratio,
+                 static_cast<unsigned long long>(r.events), r.events_per_sec,
+                 static_cast<unsigned long long>(r.transmissions),
+                 static_cast<unsigned long long>(r.deliveries),
+                 static_cast<unsigned long long>(r.collision_losses),
+                 static_cast<unsigned long long>(r.messages), r.rss_peak_mb,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_scale_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::pair<int, int>> plan;  // {n, sim_seconds}
+  if (quick) {
+    plan.emplace_back(1'000, 600);
+  } else {
+    plan.emplace_back(1'000, 3600);
+    plan.emplace_back(10'000, 3600);
+    plan.emplace_back(100'000, 3600);
+  }
+
+  std::printf("scale_fleet: %zu run(s)%s\n", plan.size(), quick ? " [quick]" : "");
+  std::vector<FleetResult> rows;
+  for (const auto& [n, sim_s] : plan) {
+    const FleetResult r = run_fleet(n, sim_s);
+    rows.push_back(r);
+    std::printf(
+        "n=%-7d sim=%ds wall=%.2fs ratio=%.1fx events=%llu (%.2fM ev/s) "
+        "tx=%llu deliveries=%llu messages=%llu rss_peak=%.1fMB\n",
+        r.n, r.sim_seconds, r.wall_s, r.ratio,
+        static_cast<unsigned long long>(r.events), r.events_per_sec / 1e6,
+        static_cast<unsigned long long>(r.transmissions),
+        static_cast<unsigned long long>(r.deliveries),
+        static_cast<unsigned long long>(r.messages), r.rss_peak_mb);
+  }
+  write_json(rows, out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

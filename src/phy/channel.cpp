@@ -44,6 +44,12 @@ double Channel::rx_power_dbm(double tx_power_dbm, double distance_m) const {
   return tx_power_dbm - path_loss;
 }
 
+double Channel::max_audible_range_m(double tx_power_dbm, double floor_dbm) const {
+  const double budget_db = tx_power_dbm - config_.reference_loss_db - floor_dbm;
+  const double d = std::pow(10.0, budget_db / (10.0 * config_.path_loss_exponent));
+  return std::max(d, 0.1);
+}
+
 double Channel::packet_error_rate(double snr, WifiRate rate, std::size_t mpdu_bytes) const {
   return logistic_per(snr, rate_info(rate).min_snr_db, mpdu_bytes);
 }

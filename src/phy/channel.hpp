@@ -41,6 +41,14 @@ class Channel {
   /// (deterministic part only; shadowing is sampled separately).
   [[nodiscard]] double rx_power_dbm(double tx_power_dbm, double distance_m) const;
 
+  /// Largest distance at which rx_power_dbm(tx_power_dbm, d) still
+  /// reaches `floor_dbm` — the analytic inversion of the log-distance
+  /// model. The Medium's spatial index uses this to bound how far a
+  /// transmission can possibly be heard (floor = the carrier-sense
+  /// threshold). Never below the 0.1 m near-field clamp of
+  /// rx_power_dbm.
+  [[nodiscard]] double max_audible_range_m(double tx_power_dbm, double floor_dbm) const;
+
   [[nodiscard]] double snr_db(double tx_power_dbm, double distance_m) const {
     return rx_power_dbm(tx_power_dbm, distance_m) - config_.noise_floor_dbm;
   }

@@ -20,6 +20,23 @@ void PowerTimeline::set_current(TimePoint t, Amps current, std::string_view phas
     }
   }
   segments_.push_back(Segment{t, current, std::string(phase)});
+  if (max_segments_ > 0 && segments_.size() > max_segments_) fold_history();
+}
+
+void PowerTimeline::fold_history() {
+  // Fold the oldest half into the baseline integral; keep the newest
+  // half so recent-window queries (per-cycle energy) stay exact.
+  const std::size_t keep = std::max<std::size_t>(max_segments_ / 2, 1);
+  const std::size_t drop = segments_.size() - keep;
+  const TimePoint horizon = segments_[drop].start;
+  for (std::size_t i = 0; i < drop; ++i) {
+    const TimePoint seg_end = segments_[i + 1].start;
+    const TimePoint lo = std::max(segments_[i].start, retained_since_);
+    if (seg_end > lo) baseline_energy_ += (supply_ * segments_[i].current) * (seg_end - lo);
+  }
+  segments_.erase(segments_.begin(),
+                  segments_.begin() + static_cast<std::ptrdiff_t>(drop));
+  retained_since_ = horizon;
 }
 
 Amps PowerTimeline::current_at(TimePoint t) const {
@@ -35,8 +52,20 @@ Amps PowerTimeline::current_at(TimePoint t) const {
 Joules PowerTimeline::energy_between(TimePoint from, TimePoint to) const {
   if (to <= from || segments_.empty()) return Joules{0.0};
   Joules total{0.0};
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
+  // Queries reaching to (or past) the folded horizon get the exact
+  // integral from simulation start; see set_max_segments.
+  if (from < retained_since_) total += baseline_energy_;
+  // Skip straight to the segment containing `from`: per-cycle queries on
+  // a long-lived timeline touch only its last few segments.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), from,
+      [](TimePoint value, const Segment& s) { return value < s.start; });
+  std::size_t i = (it == segments_.begin())
+                      ? 0
+                      : static_cast<std::size_t>(it - segments_.begin()) - 1;
+  for (; i < segments_.size(); ++i) {
     const TimePoint seg_start = segments_[i].start;
+    if (seg_start >= to) break;
     const TimePoint seg_end =
         (i + 1 < segments_.size()) ? segments_[i + 1].start : to;
     const TimePoint lo = std::max(seg_start, from);

@@ -33,6 +33,21 @@ class PowerTimeline {
   /// currents are merged (the phase label of the first is kept).
   void set_current(TimePoint t, Amps current, std::string_view phase);
 
+  /// Bound the retained segment history (0 = unbounded, the default).
+  /// When the bound is exceeded, the oldest half of the history is
+  /// folded into an accumulated energy baseline and discarded. Totals
+  /// stay exact: an energy_between query that starts at or before the
+  /// retained horizon includes the folded baseline (i.e. it reports the
+  /// integral from simulation start). Queries that begin strictly
+  /// inside the discarded span cannot be answered segment-accurately
+  /// any more; fleet-scale simulations that only need per-cycle and
+  /// lifetime totals set this to a small multiple of the segments one
+  /// duty cycle produces (see bench/scale_fleet).
+  void set_max_segments(std::size_t max_segments) { max_segments_ = max_segments; }
+
+  /// Time before which segment history has been folded away.
+  [[nodiscard]] TimePoint retained_since() const { return retained_since_; }
+
   [[nodiscard]] Amps current_at(TimePoint t) const;
 
   /// Integrated energy over [from, to). The final segment extends to
@@ -50,8 +65,13 @@ class PowerTimeline {
                   TimePoint* end) const;
 
  private:
+  void fold_history();
+
   Volts supply_;
   std::vector<Segment> segments_;
+  std::size_t max_segments_ = 0;
+  TimePoint retained_since_{};  // history before this is baseline-only
+  Joules baseline_energy_{};    // integral over [0, retained_since_)
 };
 
 /// Equation (1) of the paper: average power for a duty-cycled device

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace wile::sim {
@@ -12,27 +13,114 @@ double distance_m(const Position& a, const Position& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+Medium::Medium(Scheduler& scheduler, phy::Channel channel, Rng rng)
+    : scheduler_(scheduler), channel_(channel), rng_(rng) {
+  // One cell per 0 dBm audible radius: a delivery query for a typical
+  // transmission touches at most a 3x3 block of cells.
+  cell_size_m_ =
+      std::clamp(channel_.max_audible_range_m(0.0, kCarrierSenseDbm), 1.0, 500.0);
+}
+
+std::int32_t Medium::cell_coord(double meters) const {
+  return static_cast<std::int32_t>(std::floor(meters / cell_size_m_));
+}
+
+std::uint64_t Medium::cell_key(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+void Medium::grid_insert(NodeId id, const Position& pos) {
+  cells_[cell_key(cell_coord(pos.x_m), cell_coord(pos.y_m))].push_back(id);
+}
+
+void Medium::grid_remove(NodeId id, const Position& pos) {
+  auto it = cells_.find(cell_key(cell_coord(pos.x_m), cell_coord(pos.y_m)));
+  if (it == cells_.end()) return;
+  auto& bucket = it->second;
+  auto pos_it = std::find(bucket.begin(), bucket.end(), id);
+  if (pos_it != bucket.end()) {
+    *pos_it = bucket.back();
+    bucket.pop_back();
+  }
+}
+
+void Medium::collect_in_range(const Position& center, double range_m,
+                              std::vector<NodeId>& out) const {
+  const std::int32_t cx0 = cell_coord(center.x_m - range_m);
+  const std::int32_t cx1 = cell_coord(center.x_m + range_m);
+  const std::int32_t cy0 = cell_coord(center.y_m - range_m);
+  const std::int32_t cy1 = cell_coord(center.y_m + range_m);
+  for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+    for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+      auto it = cells_.find(cell_key(cx, cy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+}
+
 NodeId Medium::attach(MediumClient* client, Position position) {
   if (client == nullptr) throw std::invalid_argument("Medium::attach: null client");
-  nodes_.push_back(NodeEntry{client, position, false});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  nodes_.push_back(NodeEntry{client, position, false, false, 0});
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  grid_insert(id, position);
+  return id;
 }
 
 void Medium::set_position(NodeId id, Position position) {
-  nodes_.at(id).position = position;
+  NodeEntry& node = nodes_.at(id);
+  grid_remove(id, node.position);
+  node.position = position;
+  ++node.position_epoch;  // cached path losses involving this node go stale
+  grid_insert(id, position);
 }
 
 Position Medium::position(NodeId id) const { return nodes_.at(id).position; }
 
+double Medium::path_loss_db(NodeId a, NodeId b) const {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+  const std::uint32_t ea = nodes_[lo].position_epoch;
+  const std::uint32_t eb = nodes_[hi].position_epoch;
+  auto it = path_loss_cache_.find(key);
+  if (it != path_loss_cache_.end() && it->second.epoch_a == ea &&
+      it->second.epoch_b == eb) {
+    return it->second.loss_db;
+  }
+  // Same expression as Channel::rx_power_dbm's loss term, so cached and
+  // uncached paths produce bit-identical powers.
+  const double loss =
+      channel_.rx_power_dbm(0.0, distance_m(nodes_[lo].position, nodes_[hi].position));
+  if (path_loss_cache_.size() >= kMaxPathLossEntries) path_loss_cache_.clear();
+  path_loss_cache_[key] = PathLossEntry{loss, ea, eb};
+  return loss;
+}
+
 double Medium::rx_power_at(const ActiveTx& tx, NodeId listener) const {
-  const double d = distance_m(nodes_[tx.transmitter].position, nodes_[listener].position);
-  return channel_.rx_power_dbm(tx.tx_power_dbm, d);
+  // path_loss_db returns rx power for a 0 dBm transmitter; shift by the
+  // actual TX power (the model is linear in dB).
+  return tx.tx_power_dbm + path_loss_db(tx.transmitter, listener);
+}
+
+double Medium::audible_range_m(double tx_power_dbm) const {
+  // Slack absorbs floating-point disagreement between the analytic
+  // inversion and the per-node power check; the exact >= threshold test
+  // at delivery still decides audibility.
+  return channel_.max_audible_range_m(tx_power_dbm, kCarrierSenseDbm) * 1.001 + 0.1;
 }
 
 bool Medium::carrier_busy(NodeId listener) const {
-  if (nodes_.at(listener).transmitting) return true;
+  const NodeEntry& me = nodes_.at(listener);
+  if (me.transmitting) return true;
   for (const auto& tx : active_) {
     if (tx.transmitter == listener) continue;
+    // Cheap pre-filter: beyond the audible radius the exact check below
+    // cannot pass (the radius is computed with slack).
+    if (distance_m(nodes_[tx.transmitter].position, me.position) > tx.audible_range_m) {
+      continue;
+    }
     if (rx_power_at(tx, listener) >= kCarrierSenseDbm) return true;
   }
   return false;
@@ -53,10 +141,16 @@ void Medium::transmit(NodeId transmitter, TxRequest request) {
   ++stats_.transmissions;
 
   ActiveTx tx;
+  tx.id = next_tx_id_++;
   tx.transmitter = transmitter;
   tx.start = scheduler_.now();
-  tx.end = scheduler_.now() + request.airtime;
+  tx.end = tx.start + request.airtime;
   tx.tx_power_dbm = request.tx_power_dbm;
+  tx.audible_range_m = audible_range_m(request.tx_power_dbm);
+  tx.mpdu = FrameBuffer{std::move(request.mpdu)};  // one allocation per TX
+  tx.airtime = request.airtime;
+  tx.rate = request.rate;
+  tx.on_complete = std::move(request.on_complete);
 
   // Record mutual interference with everything already in the air.
   // Receiver-side audibility is judged at delivery time.
@@ -64,52 +158,67 @@ void Medium::transmit(NodeId transmitter, TxRequest request) {
     other.interferers.push_back({transmitter, request.tx_power_dbm});
     tx.interferers.push_back({other.transmitter, other.tx_power_dbm});
   }
-  tx.id = next_tx_id_++;
-  active_.push_back(tx);
 
   const std::uint64_t tx_id = tx.id;
-  const TimePoint started = tx.start;
-  scheduler_.schedule_at(tx.end, [this, transmitter, tx_id, started,
-                                  request = std::move(request)]() mutable {
-    // Locate and remove our active entry (keeping a copy for delivery).
-    ActiveTx done;
-    bool found = false;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      if (active_[i].id == tx_id) {
-        done = active_[i];
-        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
-        found = true;
-        break;
-      }
-    }
-    if (!found) throw std::logic_error("Medium: active transmission vanished");
-    nodes_.at(transmitter).transmitting = false;
+  const TimePoint end = tx.end;
+  active_.push_back(std::move(tx));
 
-    // The transmitter's completion runs before receiver delivery: the
-    // radio returns to RX at the end of its own airtime, and responses
-    // (ACKs) can only arrive afterwards.
-    if (request.on_complete) request.on_complete();
-    deliver(done, request, started);
-  });
+  // {this, tx_id} fits the scheduler's inline storage: scheduling the
+  // completion allocates nothing.
+  scheduler_.schedule_at(end, [this, tx_id] { finish_transmission(tx_id); });
 }
 
-void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*started*/) {
-  for (NodeId receiver = 0; receiver < nodes_.size(); ++receiver) {
+void Medium::finish_transmission(std::uint64_t tx_id) {
+  // Locate our entry and remove it by swap-and-pop; the entry itself is
+  // moved out, never copied (its interferer list can be long).
+  std::size_t i = 0;
+  while (i < active_.size() && active_[i].id != tx_id) ++i;
+  if (i == active_.size()) {
+    throw std::logic_error("Medium: active transmission vanished");
+  }
+  ActiveTx done = std::move(active_[i]);
+  if (i + 1 != active_.size()) active_[i] = std::move(active_.back());
+  active_.pop_back();
+  nodes_.at(done.transmitter).transmitting = false;
+
+  // The transmitter's completion runs before receiver delivery: the
+  // radio returns to RX at the end of its own airtime, and responses
+  // (ACKs) can only arrive afterwards.
+  if (done.on_complete) done.on_complete();
+  deliver(done);
+}
+
+void Medium::deliver(const ActiveTx& tx) {
+  // Candidate receivers: with the grid, only nodes inside the audible
+  // radius; sorted so RNG draws happen in the same ascending-NodeId
+  // order as the dense scan (bit-for-bit equivalence between modes).
+  std::vector<NodeId>& candidates = delivery_scratch_;
+  candidates.clear();
+  if (grid_enabled_) {
+    collect_in_range(nodes_[tx.transmitter].position, tx.audible_range_m, candidates);
+    std::sort(candidates.begin(), candidates.end());
+  } else {
+    candidates.resize(nodes_.size());
+    std::iota(candidates.begin(), candidates.end(), NodeId{0});
+  }
+
+  RxFrame frame;
+  frame.transmitter = tx.transmitter;
+  frame.mpdu = tx.mpdu;  // refcount bump; zero payload copies per receiver
+  frame.airtime = tx.airtime;
+  frame.rate = tx.rate;
+
+  for (const NodeId receiver : candidates) {
     if (receiver == tx.transmitter) continue;
-    NodeEntry& node = nodes_[receiver];
+    const NodeEntry& node = nodes_[receiver];
     if (node.rx_blocked) continue;  // injected radio deafness
     if (!node.client->rx_enabled()) continue;
 
     const double rx_power = rx_power_at(tx, receiver);
     if (rx_power < kCarrierSenseDbm) continue;  // below detection: silence
 
-    RxFrame frame;
-    frame.transmitter = tx.transmitter;
-    frame.mpdu = request.mpdu;
     frame.rx_power_dbm = rx_power;
     frame.snr_db = rx_power - channel_.config().noise_floor_dbm - noise_offset_db_;
-    frame.airtime = request.airtime;
-    frame.rate = request.rate;
 
     // Collision: any overlapping transmission audible at this receiver.
     bool collided = false;
@@ -132,10 +241,9 @@ void Medium::deliver(const ActiveTx& tx, const TxRequest& request, TimePoint /*s
     }
 
     // Channel error.
-    double per = request.rate
-                     ? channel_.packet_error_rate(frame.snr_db, *request.rate,
-                                                  request.mpdu.size())
-                     : channel_.ble_packet_error_rate(frame.snr_db, request.mpdu.size());
+    double per = tx.rate ? channel_.packet_error_rate(frame.snr_db, *tx.rate,
+                                                      tx.mpdu.size())
+                         : channel_.ble_packet_error_rate(frame.snr_db, tx.mpdu.size());
     per = std::min(1.0, per * per_multiplier_);
     // Independent erasure floor: lose at least `loss_floor_` of frames
     // regardless of SNR (union of the two independent loss processes).

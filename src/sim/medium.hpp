@@ -7,17 +7,32 @@
 // overlapping transmission audible above the carrier-sense floor).
 // The WiFi network and the BLE pair run on separate Medium instances —
 // separate bands in the real world.
+//
+// Fleet-scale design: nodes are indexed by a sparse uniform grid over
+// their positions, so delivering a transmission (and pre-filtering
+// carrier sense) only visits cells within the maximum audible radius
+// for the TX power — derived by inverting Channel::rx_power_dbm down
+// to the carrier-sense floor — instead of every attached node. Path
+// loss between static nodes is cached per pair, and the frame payload
+// is a refcounted FrameBuffer shared by all receivers, so one
+// transmission heard by a thousand radios performs zero payload copies.
+// Candidate receivers are visited in ascending NodeId order either way,
+// so the RNG draw sequence — and therefore every simulation outcome —
+// is bit-for-bit identical with the spatial grid on or off (the dense
+// path survives as the equivalence oracle; see tests/test_determinism).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "phy/channel.hpp"
 #include "sim/scheduler.hpp"
 #include "util/byte_buffer.hpp"
+#include "util/frame_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -32,10 +47,13 @@ struct Position {
 
 double distance_m(const Position& a, const Position& b);
 
-/// A frame as seen by a receiver.
+/// A frame as seen by a receiver. `mpdu` is a refcounted view of the
+/// transmitted payload, shared by every receiver of the transmission;
+/// it converts implicitly to BytesView for parsing and stays alive as
+/// long as any copy of this RxFrame does.
 struct RxFrame {
   NodeId transmitter{};
-  Bytes mpdu;
+  FrameBuffer mpdu;
   double rx_power_dbm = 0.0;
   double snr_db = 0.0;
   Duration airtime{};
@@ -76,8 +94,7 @@ struct TxRequest {
 
 class Medium {
  public:
-  Medium(Scheduler& scheduler, phy::Channel channel, Rng rng)
-      : scheduler_(scheduler), channel_(channel), rng_(rng) {}
+  Medium(Scheduler& scheduler, phy::Channel channel, Rng rng);
 
   /// Attach a radio at a position. The returned id identifies the node in
   /// all later calls.
@@ -87,10 +104,24 @@ class Medium {
   [[nodiscard]] Position position(NodeId id) const;
 
   /// Begin a transmission. Throws if this node is already transmitting.
+  /// The request's payload is moved into a shared FrameBuffer; receivers
+  /// see the same bytes without further copies.
   void transmit(NodeId transmitter, TxRequest request);
 
   /// Carrier sense at `listener`: any in-flight transmission audible
   /// above the CS threshold (including the node's own).
+  ///
+  /// Semantics, pinned by test_sim.MediumTest.CarrierSense*: carrier
+  /// sense is *energy detection at the antenna* and is deliberately
+  /// asymmetric with frame delivery —
+  ///   * rx_blocked is ignored: injected deafness models a dead decode
+  ///     path (crashed firmware), not a removed antenna, so CCA still
+  ///     reports the channel busy and a polite transmitter still defers;
+  ///   * noise_offset_db is ignored: kCarrierSenseDbm is an absolute
+  ///     received-power threshold (802.11 preamble detection), not an
+  ///     SNR test. Injected wideband noise degrades the SNR used for
+  ///     decode at delivery time but does not change what counts as a
+  ///     detectable transmission.
   [[nodiscard]] bool carrier_busy(NodeId listener) const;
 
   [[nodiscard]] bool transmitting(NodeId id) const;
@@ -104,7 +135,8 @@ class Medium {
   // and per-node receive blackouts (radio deafness / crashed firmware).
 
   /// Extra noise (dB) added on top of the channel's noise floor when
-  /// computing SNR at delivery time. 0 = unimpaired.
+  /// computing SNR at delivery time. 0 = unimpaired. Does not affect
+  /// carrier sense (see carrier_busy).
   void set_noise_offset_db(double db) { noise_offset_db_ = db; }
   [[nodiscard]] double noise_offset_db() const { return noise_offset_db_; }
 
@@ -120,9 +152,16 @@ class Medium {
   [[nodiscard]] double loss_floor() const { return loss_floor_; }
 
   /// Block/unblock frame delivery to a node (its transmit path still
-  /// works — a deaf radio can shout).
+  /// works — a deaf radio can shout, and its antenna still senses
+  /// carrier; see carrier_busy).
   void set_rx_blocked(NodeId id, bool blocked);
   [[nodiscard]] bool rx_blocked(NodeId id) const;
+
+  /// Toggle the spatial index. Disabled = the exhaustive per-node scan
+  /// the seed implementation used; kept as the equivalence oracle for
+  /// determinism tests. Results are identical either way.
+  void set_spatial_grid_enabled(bool enabled) { grid_enabled_ = enabled; }
+  [[nodiscard]] bool spatial_grid_enabled() const { return grid_enabled_; }
 
   /// Carrier-sense / preamble-detection floor.
   static constexpr double kCarrierSenseDbm = -82.0;
@@ -148,6 +187,16 @@ class Medium {
     TimePoint start{};
     TimePoint end{};
     double tx_power_dbm = 0.0;
+    /// Conservative upper bound on how far this TX is audible (grid
+    /// query radius and carrier-sense pre-filter).
+    double audible_range_m = 0.0;
+    // The request, moved in at transmit() so the completion event
+    // captures only {this, id} (fits the scheduler's inline storage)
+    // and delivery never copies it.
+    FrameBuffer mpdu;
+    Duration airtime{};
+    std::optional<phy::WifiRate> rate;
+    std::function<void()> on_complete;
     /// Transmissions that overlapped this one at any point.
     std::vector<Interferer> interferers;
   };
@@ -157,10 +206,27 @@ class Medium {
     Position position;
     bool transmitting = false;
     bool rx_blocked = false;
+    /// Bumped on set_position; invalidates cached path losses.
+    std::uint32_t position_epoch = 0;
   };
 
-  void deliver(const ActiveTx& tx, const TxRequest& request, TimePoint started);
+  void finish_transmission(std::uint64_t tx_id);
+  void deliver(const ActiveTx& tx);
   [[nodiscard]] double rx_power_at(const ActiveTx& tx, NodeId listener) const;
+  /// Log-distance path loss between two nodes, cached while neither
+  /// moves (static fleets pay the log10 once per pair).
+  [[nodiscard]] double path_loss_db(NodeId a, NodeId b) const;
+  [[nodiscard]] double audible_range_m(double tx_power_dbm) const;
+
+  // --- spatial grid ----------------------------------------------------------
+  [[nodiscard]] std::int32_t cell_coord(double meters) const;
+  static std::uint64_t cell_key(std::int32_t cx, std::int32_t cy);
+  void grid_insert(NodeId id, const Position& pos);
+  void grid_remove(NodeId id, const Position& pos);
+  /// All nodes within `range_m` of `center` (plus grid-granularity
+  /// slack), appended to `out` in arbitrary order.
+  void collect_in_range(const Position& center, double range_m,
+                        std::vector<NodeId>& out) const;
 
   Scheduler& scheduler_;
   phy::Channel channel_;
@@ -172,6 +238,21 @@ class Medium {
   double noise_offset_db_ = 0.0;
   double per_multiplier_ = 1.0;
   double loss_floor_ = 0.0;
+
+  bool grid_enabled_ = true;
+  double cell_size_m_ = 25.0;  // set from the channel in the ctor
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
+  std::vector<NodeId> delivery_scratch_;
+
+  struct PathLossEntry {
+    double loss_db = 0.0;
+    std::uint32_t epoch_a = 0;
+    std::uint32_t epoch_b = 0;
+  };
+  /// Keyed by (lo_id << 32 | hi_id); bounded — cleared wholesale when it
+  /// would exceed kMaxPathLossEntries.
+  static constexpr std::size_t kMaxPathLossEntries = 1u << 22;
+  mutable std::unordered_map<std::uint64_t, PathLossEntry> path_loss_cache_;
 };
 
 }  // namespace wile::sim

@@ -1,69 +1,29 @@
 #include "sim/scheduler.hpp"
 
-#include <stdexcept>
-
 namespace wile::sim {
 
-EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
-  if (t < now_) throw std::logic_error("Scheduler: event scheduled in the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+void Scheduler::grow_chunk() {
+  if (chunks_.size() >= ((std::uint64_t{1} << 32) >> kChunkShift)) {
+    throw std::runtime_error("Scheduler: slot slab exhausted");
+  }
+  // Default-init (not value-init): a fresh chunk writes only each slot's
+  // generation and empty callback, not 100+ zero bytes per slot.
+  chunks_.emplace_back(new Slot[kChunkSize]);
 }
 
 void Scheduler::cancel(EventId id) {
-  if (handlers_.erase(id) > 0) cancelled_.insert(id);
-}
-
-bool Scheduler::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (cancelled_.erase(e.id) > 0) continue;  // lazily dropped
-    out = e;
-    return true;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_count_) return;  // never issued
+  Slot& s = slot_ref(slot);
+  if (s.generation != gen || !s.fn) {
+    return;  // already fired or already cancelled
   }
-  return false;
-}
-
-bool Scheduler::run_one() {
-  Entry e;
-  if (!pop_next(e)) return false;
-  now_ = e.at;
-  auto it = handlers_.find(e.id);
-  // pop_next already filtered cancelled ids, so the handler must exist.
-  auto fn = std::move(it->second);
-  handlers_.erase(it);
-  fn();
-  return true;
-}
-
-void Scheduler::run_until(TimePoint deadline) {
-  for (;;) {
-    Entry e;
-    if (!pop_next(e)) break;
-    if (e.at > deadline) {
-      // Put it back; it fires after the horizon.
-      heap_.push(e);
-      break;
-    }
-    now_ = e.at;
-    auto it = handlers_.find(e.id);
-    auto fn = std::move(it->second);
-    handlers_.erase(it);
-    fn();
-  }
-  if (now_ < deadline) now_ = deadline;
-}
-
-void Scheduler::run_until_idle(std::uint64_t max_events) {
-  std::uint64_t n = 0;
-  while (run_one()) {
-    if (++n > max_events) {
-      throw std::runtime_error("Scheduler: exceeded max_events; runaway event loop?");
-    }
-  }
+  wheel_unlink(s);
+  ++s.generation;
+  s.fn.reset();
+  free_slots_.push_back(slot);
+  --live_;
 }
 
 }  // namespace wile::sim

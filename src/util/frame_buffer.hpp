@@ -1,0 +1,67 @@
+// Refcounted immutable byte buffer for zero-copy frame fan-out.
+//
+// One radio transmission may be heard by thousands of receivers; the
+// Medium hands every one of them the same FrameBuffer, so the payload
+// bytes are allocated once per transmission instead of once per
+// receiver. Copying a FrameBuffer bumps a refcount; the bytes
+// themselves are immutable for the buffer's lifetime. It converts
+// implicitly to BytesView, so every parser in the codebase (they all
+// take views) accepts it unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/byte_buffer.hpp"
+
+namespace wile {
+
+class FrameBuffer {
+ public:
+  FrameBuffer() = default;
+
+  /// Takes ownership of `bytes` — the payload is moved, not copied.
+  FrameBuffer(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty() ? nullptr
+                            : std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  static FrameBuffer copy_of(BytesView view) {
+    return FrameBuffer{Bytes(view.begin(), view.end())};
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return data_ ? data_->data() : nullptr;
+  }
+  [[nodiscard]] const std::uint8_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const { return data() + size(); }
+  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+
+  [[nodiscard]] BytesView view() const {
+    return data_ ? BytesView{*data_} : BytesView{};
+  }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  /// Materialise an owned copy (only where mutation is genuinely needed).
+  [[nodiscard]] Bytes to_bytes() const { return data_ ? *data_ : Bytes{}; }
+
+  /// How many FrameBuffers share these bytes (tests pin the zero-copy
+  /// contract with this).
+  [[nodiscard]] long owners() const { return data_ ? data_.use_count() : 0; }
+
+  friend bool operator==(const FrameBuffer& a, const FrameBuffer& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const FrameBuffer& a, const Bytes& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const Bytes& a, const FrameBuffer& b) { return b == a; }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
+
+}  // namespace wile

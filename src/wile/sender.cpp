@@ -28,6 +28,7 @@ Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position pos
     config_.mac = MacAddress::from_seed(0xB13C000ULL + config_.device_id);
   }
   sequence_ = config_.initial_sequence;
+  timeline_.set_max_segments(config_.timeline_max_segments);
   node_id_ = medium_.attach(this, position);
   sim::CsmaConfig csma_cfg;
   csma_cfg.tx_power_dbm = config_.tx_power_dbm;

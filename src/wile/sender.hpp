@@ -151,6 +151,12 @@ struct SenderConfig {
   std::optional<AdaptationConfig> adaptation;
 
   power::Esp32PowerProfile power{};
+
+  /// Bound on the power timeline's retained segment history (0 =
+  /// unbounded). Fleet-scale simulations set a small bound so 100k
+  /// devices don't each keep an hour of phase annotations; energy
+  /// totals stay exact (power::PowerTimeline::set_max_segments).
+  std::size_t timeline_max_segments = 0;
 };
 
 struct SendReport {

@@ -2,6 +2,9 @@
 // collisions and carrier sense, and the CSMA/CA machine.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+
 #include "dot11/frame.hpp"
 #include "sim/csma.hpp"
 #include "sim/medium.hpp"
@@ -86,6 +89,91 @@ TEST(Scheduler, RunawayLoopGuard) {
   std::function<void()> forever = [&] { s.schedule_in(usec(1), forever); };
   s.schedule_in(usec(1), forever);
   EXPECT_THROW(s.run_until_idle(1000), std::runtime_error);
+}
+
+TEST(Scheduler, StaleIdCannotCancelRecycledSlot) {
+  Scheduler s;
+  bool a_fired = false;
+  bool b_fired = false;
+  const EventId a = s.schedule_in(usec(10), [&] { a_fired = true; });
+  s.cancel(a);  // frees the slot
+  const EventId b = s.schedule_in(usec(20), [&] { b_fired = true; });
+  EXPECT_NE(a, b);  // generation tag differs even if the slot is reused
+  s.cancel(a);      // stale id: must not touch b's slot
+  s.run_until_idle();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Scheduler, CancellingOwnIdInsideHandlerIsNoOp) {
+  Scheduler s;
+  EventId id = 0;
+  int fired = 0;
+  id = s.schedule_in(usec(5), [&] {
+    ++fired;
+    s.cancel(id);  // already consumed; must not corrupt the slab
+  });
+  s.schedule_in(usec(6), [&fired] { ++fired; });
+  s.run_until_idle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PendingEventsTracksCancellation) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(s.schedule_in(usec(i + 1), [] {}));
+  EXPECT_EQ(s.pending_events(), 10u);
+  for (int i = 0; i < 10; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending_events(), 5u);
+  s.run_until_idle();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_run(), 5u);
+}
+
+TEST(Scheduler, HeavyChurnWithInterleavedCancels) {
+  // Schedule/cancel storms must preserve time-then-insertion ordering.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> cancels;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id =
+        s.schedule_at(TimePoint{usec(1000 - (i % 100))}, [&order, i] { order.push_back(i); });
+    if (i % 3 == 0) cancels.push_back(id);
+  }
+  for (const EventId id : cancels) s.cancel(id);
+  s.run_until_idle();
+  ASSERT_FALSE(order.empty());
+  // Verify global (time, insertion-seq) ordering of what fired.
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const int prev_t = 1000 - (order[k - 1] % 100);
+    const int cur_t = 1000 - (order[k] % 100);
+    EXPECT_TRUE(prev_t < cur_t || (prev_t == cur_t && order[k - 1] < order[k]));
+  }
+  EXPECT_EQ(order.size(), 1000u - cancels.size());
+}
+
+TEST(Scheduler, InlineStorageAvoidsHeapForSmallCaptures) {
+  // The medium's completion lambda ({this, tx_id}) and every timer that
+  // captures `this` plus a couple of words must stay inline.
+  struct Small {
+    void* a;
+    std::uint64_t b;
+    void operator()() {}
+  };
+  struct Big {
+    std::array<std::uint8_t, 128> blob;
+    void operator()() {}
+  };
+  static_assert(Scheduler::EventFn::fits_inline<Small>());
+  static_assert(!Scheduler::EventFn::fits_inline<Big>());
+  // Oversized callables still work via the heap fallback.
+  Scheduler s;
+  Big big{};
+  big.blob[0] = 7;
+  int seen = -1;
+  s.schedule_in(usec(1), [big, &seen] { seen = big.blob[0]; });
+  s.run_until_idle();
+  EXPECT_EQ(seen, 7);
 }
 
 // ---------------------------------------------------------------------------
@@ -238,6 +326,99 @@ TEST_F(MediumTest, DoubleTransmitThrows) {
   r2.mpdu = Bytes{2};
   r2.airtime = usec(100);
   EXPECT_THROW(medium.transmit(a, std::move(r2)), std::logic_error);
+}
+
+// Pins the documented carrier-sense semantics (see Medium::carrier_busy):
+// energy detection at the antenna ignores rx_blocked and noise_offset_db,
+// while frame delivery honours both.
+TEST_F(MediumTest, CarrierSenseIgnoresRxBlockedAndNoiseOffset) {
+  RecordingClient tx_client, rx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  const NodeId rx = medium.attach(&rx_client, {2, 0});
+
+  medium.set_rx_blocked(rx, true);
+  medium.set_noise_offset_db(60.0);  // drowns any SNR, not the CS floor
+
+  TxRequest req;
+  req.mpdu = Bytes{1, 2, 3};
+  req.airtime = usec(100);
+  medium.transmit(tx, std::move(req));
+
+  // A deaf radio's antenna still senses energy; noise does not raise the
+  // absolute detection threshold.
+  EXPECT_TRUE(medium.carrier_busy(rx));
+  scheduler.run_until_idle();
+
+  // ...but delivery honours the blackout: nothing decodable arrived.
+  EXPECT_TRUE(rx_client.frames.empty());
+  EXPECT_EQ(rx_client.collisions + rx_client.channel_losses, 0);
+  EXPECT_FALSE(medium.carrier_busy(rx));
+
+  // Unblocked, the same noise offset degrades SNR at delivery time: a
+  // long frame at 2 m that would decode cleanly without the offset is
+  // lost to channel error instead (PER ~ 1 at -15 dB SNR for 1000 B).
+  medium.set_rx_blocked(rx, false);
+  TxRequest again;
+  again.mpdu = Bytes(1000, 0x5A);
+  again.airtime = usec(100);
+  again.rate = phy::WifiRate::G6;
+  medium.transmit(tx, std::move(again));
+  scheduler.run_until_idle();
+  EXPECT_TRUE(rx_client.frames.empty());
+  EXPECT_EQ(rx_client.channel_losses, 1);
+}
+
+TEST_F(MediumTest, ReceiversShareOneFrameBuffer) {
+  RecordingClient tx_client;
+  std::array<RecordingClient, 3> rx_clients;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  for (auto& c : rx_clients) medium.attach(&c, {1, 0});
+
+  TxRequest req;
+  req.mpdu = Bytes(1000, 0xEE);
+  req.airtime = usec(100);
+  medium.transmit(tx, std::move(req));
+  scheduler.run_until_idle();
+
+  ASSERT_EQ(rx_clients[0].frames.size(), 1u);
+  const std::uint8_t* payload = rx_clients[0].frames[0].mpdu.data();
+  for (auto& c : rx_clients) {
+    ASSERT_EQ(c.frames.size(), 1u);
+    // Zero-copy fan-out: every receiver sees the very same bytes.
+    EXPECT_EQ(c.frames[0].mpdu.data(), payload);
+  }
+  EXPECT_GE(rx_clients[0].frames[0].mpdu.owners(), 3L);
+}
+
+TEST_F(MediumTest, SetPositionUpdatesSpatialIndex) {
+  RecordingClient tx_client, rx_client;
+  const NodeId tx = medium.attach(&tx_client, {0, 0});
+  const NodeId rx = medium.attach(&rx_client, {100'000, 0});  // far cell
+
+  TxRequest r1;
+  r1.mpdu = Bytes{1};
+  r1.airtime = usec(50);
+  medium.transmit(tx, std::move(r1));
+  scheduler.run_until_idle();
+  EXPECT_TRUE(rx_client.frames.empty());
+
+  medium.set_position(rx, {2, 0});  // moves into the transmitter's cell
+  TxRequest r2;
+  r2.mpdu = Bytes{2};
+  r2.airtime = usec(50);
+  medium.transmit(tx, std::move(r2));
+  scheduler.run_until_idle();
+  ASSERT_EQ(rx_client.frames.size(), 1u);
+  EXPECT_EQ(rx_client.frames[0].mpdu, (Bytes{2}));
+
+  medium.set_position(rx, {-30'000, -40'000});  // negative-coordinate cell
+  EXPECT_EQ(distance_m(medium.position(tx), medium.position(rx)), 50'000.0);
+  TxRequest r3;
+  r3.mpdu = Bytes{3};
+  r3.airtime = usec(50);
+  medium.transmit(tx, std::move(r3));
+  scheduler.run_until_idle();
+  EXPECT_EQ(rx_client.frames.size(), 1u);  // out of earshot again
 }
 
 // ---------------------------------------------------------------------------
