@@ -20,10 +20,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
-#include "wile/receiver.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
@@ -46,36 +43,51 @@ struct Result {
 };
 
 Result run_arm(const Arm& arm, double loss_floor) {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{61}};
-  medium.set_loss_floor(loss_floor);
-
-  core::SenderConfig cfg;
-  cfg.period = kPeriod;
-  cfg.repeats = arm.repeats;
-  cfg.recovery_k = arm.recovery_k;
-  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{62}};
-  // 2 m: the SNR-driven PER is ~0, so the loss floor is the whole story.
-  core::Receiver monitor{scheduler, medium, {2, 0}};
-
   Joules tx_energy{};
   std::uint64_t cycles = 0;
-  sender.start_duty_cycle(
-      [&cycles] {
-        ++cycles;
-        return Bytes(16, 0x42);
-      },
-      [&tx_energy](const core::SendReport& r) { tx_energy += r.tx_only_energy; });
-  scheduler.run_until(TimePoint{kPeriod * (kRounds + 1)});
-  sender.stop_duty_cycle();
-  scheduler.run_until(scheduler.now() + seconds(1));
 
+  // One sender, one monitor 2 m away (the SNR-driven PER is ~0 there, so
+  // the injected loss floor is the whole story). The legacy per-node
+  // seeds (medium 61, device 62) and the zeroed fleet defaults keep this
+  // arm bit-identical to the pre-ScenarioBuilder hand wiring.
+  auto scenario =
+      sim::ScenarioBuilder{}
+          .devices(1)
+          .medium_seed(61)
+          .loss_floor(loss_floor)
+          .duty_cycle(kPeriod)
+          .wake_jitter(Duration{0})
+          .timeline_max_segments(0)  // legacy: unbounded retention
+          .stagger_starts(false)
+          .device_rng([](int) { return Rng{62}; })
+          .configure_sender([&arm](core::SenderConfig& cfg, int) {
+            cfg.repeats = arm.repeats;
+            cfg.recovery_k = arm.recovery_k;
+          })
+          .place_gateway([](int) { return sim::Position{2, 0}; })
+          .payload_provider([&cycles](int) -> core::Sender::PayloadProvider {
+            return [&cycles] {
+              ++cycles;
+              return Bytes(16, 0x42);
+            };
+          })
+          .on_send_report(
+              [&tx_energy](int, const core::SendReport& r) {
+                tx_energy += r.tx_only_energy;
+              })
+          .build();
+
+  scenario->run_until(TimePoint{kPeriod * (kRounds + 1)});
+  scenario->stop_all();
+  scenario->run_for(seconds(1));
+
+  const core::ReceiverStats& monitor = scenario->gateways().front()->stats();
   Result out;
   out.name = arm.name;
-  const double delivered = static_cast<double>(monitor.stats().messages);
+  const double delivered = static_cast<double>(monitor.messages);
   out.delivery_pct = 100.0 * delivered / static_cast<double>(cycles);
   out.uj_per_delivered = delivered > 0 ? in_microjoules(tx_energy) / delivered : 0.0;
-  out.recovered = monitor.stats().recovered;
+  out.recovered = monitor.recovered;
   return out;
 }
 

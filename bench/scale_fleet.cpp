@@ -6,30 +6,41 @@
 // out-of-earshot fleet, and shared frame buffers on the dense
 // neighbourhoods around each sender.
 //
-// Writes BENCH_scale_fleet.json: per-N events/sec, sim/wall speed
-// ratio, Medium stats and peak RSS. The transmission/delivery/message
-// counts double as a cross-version determinism oracle: they are
-// seed-determined, so any event-core change that alters them broke
-// reproducibility (see tests/test_determinism.cpp).
+// Setup goes through sim::ScenarioBuilder, whose defaults ARE this
+// bench's historical hand wiring (seeds 0xF1EE7 / 0xF1EE7C0DE, 5 m
+// grid, staggered starts) — tests/test_telemetry.cpp pins the two
+// bit-identical.
 //
-// Usage: scale_fleet [--quick] [--out PATH]
-//   --quick   N=1000 for 600 simulated seconds (CI-sized)
-//   default   N in {1000, 10000, 100000}, one simulated hour each
+// Writes BENCH_scale_fleet.json: per-N events/sec, sim/wall speed
+// ratio, Medium stats, peak RSS and this run's RSS delta. The
+// transmission/delivery/message counts double as a cross-version
+// determinism oracle: they are seed-determined, so any event-core
+// change that alters them broke reproducibility (see
+// tests/test_determinism.cpp). Unless --no-telemetry, also exports the
+// full wile-telemetry-v1 snapshot of the last run (per-node TX/RX/
+// energy plus aggregates) for the CI artifact + schema check.
+//
+// Usage: scale_fleet [--quick] [--out PATH] [--telemetry-out PATH]
+//                    [--no-telemetry]
+//   --quick          N=1000 for 600 simulated seconds (CI-sized)
+//   default          N in {1000, 10000, 100000}, one simulated hour each
+//   --no-telemetry   skip metric registration entirely (A/B overhead runs)
 //
 // Peak RSS is process-wide and monotone, so runs are ordered smallest
-// N first and each row reports the high-water mark up to that run.
+// N first and each row reports the high-water mark up to that run;
+// rss_delta_mb is the per-run change in *current* RSS (from
+// /proc/self/statm), which does not suffer the high-water-mark
+// monotonicity.
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "wile/receiver.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
@@ -47,6 +58,7 @@ struct FleetResult {
   std::uint64_t collision_losses = 0;
   std::uint64_t messages = 0;
   double rss_peak_mb = 0.0;
+  double rss_delta_mb = 0.0;  // current-RSS change across this run
 };
 
 double peak_rss_mb() {
@@ -55,52 +67,42 @@ double peak_rss_mb() {
   return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
 }
 
-FleetResult run_fleet(int n, int sim_seconds) {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{0xF1EE7}};
+/// Current (not peak) resident set in MB, from /proc/self/statm.
+/// Returns 0 on platforms without procfs — the delta then reads 0,
+/// which the JSON consumer treats as "unavailable".
+double current_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long size_pages = 0, resident_pages = 0;
+  const int matched = std::fscanf(f, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident_pages) * static_cast<double>(page) /
+         (1024.0 * 1024.0);
+}
 
-  constexpr double kSpacingM = 5.0;
-  const int side = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
-  const double extent = side * kSpacingM;
+FleetResult run_fleet(int n, int sim_seconds, bool telemetry,
+                      std::string* telemetry_json) {
+  const double rss_before_mb = current_rss_mb();
 
-  Rng master{0xF1EE7C0DE};
-  std::vector<std::unique_ptr<core::Sender>> senders;
-  senders.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    core::SenderConfig cfg;
-    cfg.device_id = static_cast<std::uint32_t>(i + 1);
-    cfg.period = seconds(60);
-    cfg.wake_jitter = msec(500);
-    // An hour of duty cycles would otherwise retain ~1000 power-phase
-    // segments per device; 64 keeps per-cycle queries exact and RSS flat
-    // (energy totals stay exact regardless — see PowerTimeline).
-    cfg.timeline_max_segments = 64;
-    const sim::Position pos{(i % side) * kSpacingM, (i / side) * kSpacingM};
-    senders.push_back(
-        std::make_unique<core::Sender>(scheduler, medium, pos, cfg, master.fork()));
-    // Stagger duty-cycle starts uniformly across one period so the fleet
-    // doesn't wake in a single thundering herd at t=0.
-    const auto start_us = static_cast<std::int64_t>(
-        (static_cast<std::uint64_t>(i) * 60'000'000ull) / static_cast<std::uint64_t>(n));
-    core::Sender* s = senders.back().get();
-    scheduler.schedule_at(TimePoint{usec(start_us)}, [s] {
-      s->start_duty_cycle([] { return Bytes(16, 0xA5); });
-    });
-  }
-
-  const int n_gw = std::max(1, n / 2500);
-  std::vector<std::unique_ptr<core::Receiver>> gateways;
-  std::uint64_t messages = 0;
-  for (int k = 0; k < n_gw; ++k) {
-    const double c = (k + 0.5) * extent / n_gw;  // along the diagonal
-    gateways.push_back(
-        std::make_unique<core::Receiver>(scheduler, medium, sim::Position{c, c}));
-    gateways.back()->set_message_callback(
-        [&messages](const core::Message&, const core::RxMeta&) { ++messages; });
-  }
+  auto scenario = sim::ScenarioBuilder{}
+                      .devices(n)
+                      .grid_spacing_m(5)
+                      .gateway_every(2500)
+                      .duty_cycle(seconds(60))
+                      .seed(0xF1EE7C0DE)
+                      .medium_seed(0xF1EE7)
+                      .telemetry(telemetry)
+                      // Above ~10k nodes the per-node registry itself
+                      // becomes a measurable slice of RSS; keep it out
+                      // of the fleet-memory measurement. Aggregates
+                      // stay on regardless.
+                      .per_node_metrics(n <= 10'000)
+                      .build();
 
   const auto wall_start = std::chrono::steady_clock::now();
-  scheduler.run_until(TimePoint{seconds(sim_seconds)});
+  scenario->run_until(TimePoint{seconds(sim_seconds)});
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -110,13 +112,24 @@ FleetResult run_fleet(int n, int sim_seconds) {
   r.sim_seconds = sim_seconds;
   r.wall_s = wall_s;
   r.ratio = sim_seconds / wall_s;
-  r.events = scheduler.events_run();
+  r.events = scenario->scheduler().events_run();
   r.events_per_sec = static_cast<double>(r.events) / wall_s;
-  r.transmissions = medium.stats().transmissions;
-  r.deliveries = medium.stats().deliveries;
-  r.collision_losses = medium.stats().collision_losses;
-  r.messages = messages;
+  r.transmissions = scenario->medium().stats().transmissions;
+  r.deliveries = scenario->medium().stats().deliveries;
+  r.collision_losses = scenario->medium().stats().collision_losses;
+  r.messages = scenario->messages();
   r.rss_peak_mb = peak_rss_mb();
+  r.rss_delta_mb = current_rss_mb() - rss_before_mb;
+
+  if (telemetry && telemetry_json != nullptr) {
+    telemetry::ExportMeta meta;
+    meta.bench = "scale_fleet";
+    meta.ints = {{"n", n},
+                 {"sim_seconds", sim_seconds},
+                 {"events", static_cast<std::int64_t>(r.events)}};
+    meta.doubles = {{"wall_seconds", wall_s}};
+    *telemetry_json = scenario->export_json(meta);
+  }
   return r;
 }
 
@@ -134,14 +147,15 @@ void write_json(const std::vector<FleetResult>& rows, const std::string& path) {
                  "     \"sim_wall_ratio\": %.1f, \"events\": %llu,\n"
                  "     \"events_per_sec\": %.0f, \"transmissions\": %llu,\n"
                  "     \"deliveries\": %llu, \"collision_losses\": %llu,\n"
-                 "     \"messages\": %llu, \"rss_peak_mb\": %.1f}%s\n",
+                 "     \"messages\": %llu, \"rss_peak_mb\": %.1f,\n"
+                 "     \"rss_delta_mb\": %.1f}%s\n",
                  r.n, r.sim_seconds, r.wall_s, r.ratio,
                  static_cast<unsigned long long>(r.events), r.events_per_sec,
                  static_cast<unsigned long long>(r.transmissions),
                  static_cast<unsigned long long>(r.deliveries),
                  static_cast<unsigned long long>(r.collision_losses),
                  static_cast<unsigned long long>(r.messages), r.rss_peak_mb,
-                 i + 1 < rows.size() ? "," : "");
+                 r.rss_delta_mb, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -151,14 +165,23 @@ void write_json(const std::vector<FleetResult>& rows, const std::string& path) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool telemetry = true;
   std::string out_path = "BENCH_scale_fleet.json";
+  std::string telemetry_path = "BENCH_scale_fleet_telemetry.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--no-telemetry") == 0) {
+      telemetry = false;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--telemetry-out PATH] "
+                   "[--no-telemetry]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -172,21 +195,32 @@ int main(int argc, char** argv) {
     plan.emplace_back(100'000, 3600);
   }
 
-  std::printf("scale_fleet: %zu run(s)%s\n", plan.size(), quick ? " [quick]" : "");
+  std::printf("scale_fleet: %zu run(s)%s%s\n", plan.size(), quick ? " [quick]" : "",
+              telemetry ? "" : " [no-telemetry]");
   std::vector<FleetResult> rows;
+  std::string telemetry_json;  // last run's full snapshot
   for (const auto& [n, sim_s] : plan) {
-    const FleetResult r = run_fleet(n, sim_s);
+    const FleetResult r = run_fleet(n, sim_s, telemetry, &telemetry_json);
     rows.push_back(r);
     std::printf(
         "n=%-7d sim=%ds wall=%.2fs ratio=%.1fx events=%llu (%.2fM ev/s) "
-        "tx=%llu deliveries=%llu messages=%llu rss_peak=%.1fMB\n",
+        "tx=%llu deliveries=%llu messages=%llu rss_peak=%.1fMB rss_delta=%+.1fMB\n",
         r.n, r.sim_seconds, r.wall_s, r.ratio,
         static_cast<unsigned long long>(r.events), r.events_per_sec / 1e6,
         static_cast<unsigned long long>(r.transmissions),
         static_cast<unsigned long long>(r.deliveries),
-        static_cast<unsigned long long>(r.messages), r.rss_peak_mb);
+        static_cast<unsigned long long>(r.messages), r.rss_peak_mb, r.rss_delta_mb);
   }
   write_json(rows, out_path);
   std::printf("wrote %s\n", out_path.c_str());
+  if (telemetry && !telemetry_json.empty()) {
+    if (telemetry::write_file(telemetry_path, telemetry_json)) {
+      std::printf("wrote %s\n", telemetry_path.c_str());
+    } else {
+      std::fprintf(stderr, "scale_fleet: failed to write %s\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

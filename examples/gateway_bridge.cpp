@@ -11,26 +11,54 @@
 // a collector server as a UDP datagram — through a genuine 4-way
 // handshake, DHCP lease and CCMP-protected data path.
 //
+// ScenarioBuilder owns the environment and the sensor fleet; the
+// infrastructure side (AP + bridging Gateway) is built on the
+// scenario's scheduler/medium and publishes into the same telemetry
+// registry, so one JSON export covers the whole topology.
+//
 // Run:  ./gateway_bridge
 #include <cstdio>
 #include <memory>
-#include <vector>
+#include <string>
 
 #include "ap/access_point.hpp"
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
 #include "wile/gateway.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
 int main() {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{321}};
+  // Four Wi-LE sensors scattered around the gateway; no monitor from the
+  // builder — the bridging Gateway below is the Wi-LE receiver.
+  Rng seeder{3};
+  auto scenario =
+      sim::ScenarioBuilder{}
+          .devices(4)
+          .gateways(0)
+          .duty_cycle(seconds(45))
+          .wake_jitter(msec(400))
+          .timeline_max_segments(0)
+          .stagger_starts(false)
+          .medium_seed(321)
+          .device_rng([&seeder](int) { return seeder.fork(); })
+          .configure_sender([](core::SenderConfig& cfg, int i) {
+            cfg.device_id = 0x2000 + i;
+          })
+          .place_device([](int i) { return sim::Position{6.0 + i, 2.0}; })
+          .payload_provider([](int i) -> core::Sender::PayloadProvider {
+            return [i] {
+              ByteWriter w(3);
+              w.u8(static_cast<std::uint8_t>(i));
+              w.u16le(1700 + 10 * i);
+              return w.take();
+            };
+          })
+          .build();
+  sim::Scheduler& scheduler = scenario->scheduler();
 
   // The building AP, with the collector "server" behind it.
   ap::AccessPointConfig ap_cfg;
-  ap::AccessPoint access_point{scheduler, medium, {0, 0}, ap_cfg, Rng{1}};
+  ap::AccessPoint access_point{scheduler, scenario->medium(), {0, 0}, ap_cfg, Rng{1}};
   std::uint64_t server_rows = 0;
   access_point.set_uplink_handler([&](const MacAddress&, const net::Ipv4Header&,
                                       const net::UdpDatagram& udp) {
@@ -42,11 +70,13 @@ int main() {
                 reading->sequence, reading->rssi_dbm, reading->data.size());
   });
   access_point.start();
+  access_point.publish_metrics(
+      scenario->metrics(), "node." + std::to_string(access_point.node_id()) + ".ap");
 
   // The gateway, a few meters from the AP.
   core::GatewayConfig gw_cfg;
   gw_cfg.station.mac = MacAddress::from_seed(0x6A7E);
-  core::Gateway gateway{scheduler, medium, {4, 0}, gw_cfg, Rng{2}};
+  core::Gateway gateway{scheduler, scenario->medium(), {4, 0}, gw_cfg, Rng{2}};
   gateway.start([&](bool ok) {
     std::printf("t=%7.1fs  [gateway] uplink %s (ip %s)\n",
                 to_seconds(scheduler.now().since_epoch()),
@@ -54,28 +84,11 @@ int main() {
                 gateway.station().ip() ? gateway.station().ip()->to_string().c_str()
                                        : "none");
   });
+  gateway.publish_metrics(scenario->metrics(), "gateway");
 
-  // Four Wi-LE sensors scattered around the gateway.
-  Rng seeder{3};
-  std::vector<std::unique_ptr<core::Sender>> sensors;
-  for (int i = 0; i < 4; ++i) {
-    core::SenderConfig cfg;
-    cfg.device_id = 0x2000 + i;
-    cfg.period = seconds(45);
-    cfg.wake_jitter = msec(400);
-    sensors.push_back(std::make_unique<core::Sender>(
-        scheduler, medium, sim::Position{6.0 + i, 2.0}, cfg, seeder.fork()));
-    sensors.back()->start_duty_cycle([i] {
-      ByteWriter w(3);
-      w.u8(static_cast<std::uint8_t>(i));
-      w.u16le(1700 + 10 * i);
-      return w.take();
-    });
-  }
-
-  scheduler.run_until(TimePoint{minutes(5)});
-  for (auto& s : sensors) s->stop_duty_cycle();
-  scheduler.run_until(scheduler.now() + seconds(5));
+  scenario->run_until(TimePoint{minutes(5)});
+  scenario->stop_all();
+  scenario->run_for(seconds(5));
 
   const auto& gw = gateway.stats();
   std::printf("\n--- after 5 minutes ---\n");

@@ -6,19 +6,23 @@
 // Wi-LE, BLE, WiFi-DC and WiFi-PS, using energies measured from the
 // simulated protocol exchanges (the Table-1 pipeline).
 //
+// Each measurement arm gets its environment (scheduler + seeded medium)
+// from sim::ScenarioBuilder; the non-Wi-LE nodes (BLE link, WiFi
+// station/AP) are built on top of it, since only Wi-LE senders live in
+// the builder's fleet.
+//
 // Run:  ./power_comparison [interval_seconds] [battery_mah]
 //       ./power_comparison 600 225        # 10-minute sensor, CR2032
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 
 #include "ap/access_point.hpp"
 #include "ble/link.hpp"
 #include "power/timeline.hpp"
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
 #include "sta/station.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
@@ -32,24 +36,36 @@ struct Tech {
   Volts supply{};
 };
 
+/// Environment-only scenario: scheduler + medium with the arm's seed,
+/// no Wi-LE fleet unless the arm asks for one.
+std::unique_ptr<sim::Scenario> arm_env(int devices) {
+  return sim::ScenarioBuilder{}
+      .devices(devices)
+      .gateways(0)
+      .wake_jitter(Duration{0})
+      .timeline_max_segments(0)
+      .medium_seed(1)
+      .device_rng([](int) { return Rng{2}; })
+      .auto_start(false)
+      .build();
+}
+
 Tech measure_wile() {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
-  core::SenderConfig cfg;
-  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
+  auto scenario = arm_env(/*devices=*/1);
+  core::Sender& sender = *scenario->devices().front();
+  const core::SenderConfig& cfg = sender.config();
   std::optional<core::SendReport> r;
   sender.send_now(Bytes(16, 1), [&](const core::SendReport& rep) { r = rep; });
-  scheduler.run_until_idle();
+  scenario->scheduler().run_until_idle();
   return {"Wi-LE", r->tx_only_energy, r->tx_airtime,
           cfg.power.supply * cfg.power.deep_sleep, cfg.power.supply};
 }
 
 Tech measure_ble() {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  auto scenario = arm_env(0);
   ble::BleLinkConfig cfg;
-  ble::BleMaster master{scheduler, medium, {0, 0}, cfg};
-  ble::BleSlave slave{scheduler, medium, {2, 0}, cfg};
+  ble::BleMaster master{scenario->scheduler(), scenario->medium(), {0, 0}, cfg};
+  ble::BleSlave slave{scenario->scheduler(), scenario->medium(), {2, 0}, cfg};
   std::optional<ble::BleEventReport> r;
   slave.set_event_callback([&](const ble::BleEventReport& rep) {
     if (rep.data_sent && !r) r = rep;
@@ -57,38 +73,38 @@ Tech measure_ble() {
   slave.queue_payload(Bytes(20, 1));
   master.start();
   slave.start();
-  scheduler.run_until(TimePoint{seconds(3)});
+  scenario->run_until(TimePoint{seconds(3)});
   return {"BLE", r->energy, r->active_time, cfg.power.supply * cfg.power.sleep,
           cfg.power.supply};
 }
 
 Tech measure_wifi(bool power_save) {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
+  auto scenario = arm_env(0);
+  sim::Scheduler& scheduler = scenario->scheduler();
   ap::AccessPointConfig ap_cfg;
-  ap::AccessPoint ap{scheduler, medium, {0, 0}, ap_cfg, Rng{10}};
+  ap::AccessPoint ap{scheduler, scenario->medium(), {0, 0}, ap_cfg, Rng{10}};
   ap.start();
   sta::StationConfig sta_cfg;
-  sta::Station sta{scheduler, medium, {3, 0}, sta_cfg, Rng{20}};
+  sta::Station sta{scheduler, scenario->medium(), {3, 0}, sta_cfg, Rng{20}};
 
   if (!power_save) {
     std::optional<sta::CycleReport> r;
     sta.run_duty_cycle_transmission(Bytes(16, 1),
                                     [&](const sta::CycleReport& rep) { r = rep; });
-    scheduler.run_until(TimePoint{seconds(10)});
+    scenario->run_until(TimePoint{seconds(10)});
     return {"WiFi-DC", r->energy, r->active_time,
             sta_cfg.power.supply * sta_cfg.power.deep_sleep, sta_cfg.power.supply};
   }
 
   bool ready = false;
   sta.connect_and_enter_power_save([&](bool ok) { ready = ok; });
-  scheduler.run_until(TimePoint{seconds(10)});
+  scenario->run_until(TimePoint{seconds(10)});
   const TimePoint from = scheduler.now();
-  scheduler.run_until(from + minutes(1));
+  scenario->run_for(minutes(1));
   const Watts idle = sta.timeline().average_power(from, scheduler.now());
   std::optional<sta::CycleReport> r;
   sta.power_save_send(Bytes(16, 1), [&](const sta::CycleReport& rep) { r = rep; });
-  scheduler.run_until(scheduler.now() + seconds(5));
+  scenario->run_for(seconds(5));
   return {"WiFi-PS", r->energy, r->active_time, idle, sta_cfg.power.supply};
 }
 

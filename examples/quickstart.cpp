@@ -5,59 +5,67 @@
 // injects it, and deep-sleeps. The receiver — any WiFi card in monitor
 // mode — extracts the readings without either side ever associating.
 //
+// Setup goes through sim::ScenarioBuilder, the library's one-stop
+// facade: it owns the scheduler, the radio medium, the nodes and the
+// telemetry registry, so an experiment is a handful of fluent calls
+// plus the domain callbacks.
+//
 // Run:  ./quickstart
 #include <cstdio>
+#include <memory>
 
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
-#include "util/rng.hpp"
-#include "wile/receiver.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 int main() {
   using namespace wile;
 
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{42}};
-
-  // The IoT device: a temperature sensor two meters from the receiver.
-  core::SenderConfig sensor_cfg;
-  sensor_cfg.device_id = 0x1001;
-  sensor_cfg.period = seconds(10);
-  core::Sender sensor{scheduler, medium, {0.0, 0.0}, sensor_cfg, Rng{1}};
-
-  // The receiver: a laptop WiFi card in monitor mode.
-  core::Receiver monitor{scheduler, medium, {2.0, 0.0}};
-  monitor.set_message_callback([](const core::Message& msg, const core::RxMeta& meta) {
-    // Payload layout: centi-degrees, little-endian u16.
-    if (msg.data.size() != 2) return;
-    const double temp_c = static_cast<double>(msg.data[0] | (msg.data[1] << 8)) / 100.0;
-    std::printf("t=%8.3fs  device=%#06x  seq=%u  temp=%.2f C  rssi=%.1f dBm\n",
-                to_seconds(meta.received_at.since_epoch()), msg.device_id, msg.sequence,
-                temp_c, meta.rssi_dbm);
-  });
-
   // Simulated sensor physics: a slow daily drift around 17 C (Figure 1's
-  // display value).
-  int tick = 0;
-  sensor.start_duty_cycle(
-      [&tick]() {
-        const double temp_c = 17.0 + 0.5 * ((tick++ % 20) / 10.0 - 1.0);
-        const auto centi = static_cast<std::uint16_t>(temp_c * 100.0);
-        return Bytes{static_cast<std::uint8_t>(centi & 0xff),
-                     static_cast<std::uint8_t>(centi >> 8)};
-      },
-      [](const core::SendReport& report) {
-        std::printf("    sensor cycle: %d beacon(s), tx-only %.1f uJ, cycle %.1f uJ, "
-                    "awake %.1f ms\n",
-                    report.beacons_sent, in_microjoules(report.tx_only_energy),
-                    in_microjoules(report.cycle_energy),
-                    to_seconds(report.active_time) * 1e3);
-      });
+  // display value). The provider factory is called once per device and
+  // returns that device's per-cycle sampling closure.
+  auto make_thermometer = [](int) -> core::Sender::PayloadProvider {
+    return [tick = 0]() mutable {
+      const double temp_c = 17.0 + 0.5 * ((tick++ % 20) / 10.0 - 1.0);
+      const auto centi = static_cast<std::uint16_t>(temp_c * 100.0);
+      return Bytes{static_cast<std::uint8_t>(centi & 0xff),
+                   static_cast<std::uint8_t>(centi >> 8)};
+    };
+  };
 
-  scheduler.run_until(TimePoint{minutes(1)});
+  auto scenario =
+      sim::ScenarioBuilder{}
+          .devices(1)  // the IoT device: a temperature sensor
+          .duty_cycle(seconds(10))
+          .wake_jitter(Duration{0})
+          .timeline_max_segments(0)
+          .stagger_starts(false)
+          .medium_seed(42)
+          .device_rng([](int) { return Rng{1}; })
+          .configure_sender(
+              [](core::SenderConfig& cfg, int) { cfg.device_id = 0x1001; })
+          // The receiver: a laptop WiFi card in monitor mode, 2 m away.
+          .place_gateway([](int) { return sim::Position{2.0, 0.0}; })
+          .payload_provider(make_thermometer)
+          .on_message([](const core::Message& msg, const core::RxMeta& meta) {
+            // Payload layout: centi-degrees, little-endian u16.
+            if (msg.data.size() != 2) return;
+            const double temp_c =
+                static_cast<double>(msg.data[0] | (msg.data[1] << 8)) / 100.0;
+            std::printf("t=%8.3fs  device=%#06x  seq=%u  temp=%.2f C  rssi=%.1f dBm\n",
+                        to_seconds(meta.received_at.since_epoch()), msg.device_id,
+                        msg.sequence, temp_c, meta.rssi_dbm);
+          })
+          .on_send_report([](int, const core::SendReport& report) {
+            std::printf("    sensor cycle: %d beacon(s), tx-only %.1f uJ, cycle %.1f uJ, "
+                        "awake %.1f ms\n",
+                        report.beacons_sent, in_microjoules(report.tx_only_energy),
+                        in_microjoules(report.cycle_energy),
+                        to_seconds(report.active_time) * 1e3);
+          })
+          .build();
 
-  const auto& stats = monitor.stats();
+  scenario->run_until(TimePoint{minutes(1)});
+
+  const auto& stats = scenario->gateways().front()->stats();
   std::printf("\nreceived %llu message(s) in %llu Wi-LE beacon(s); "
               "%llu duplicate(s), %llu CRC failure(s)\n",
               static_cast<unsigned long long>(stats.messages),

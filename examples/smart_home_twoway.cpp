@@ -8,14 +8,18 @@
 // thermostat's radio is only ever on for ~22 ms per minute instead of
 // listening continuously.
 //
+// ScenarioBuilder owns the environment and the thermostat; the hub — a
+// Controller, outside the builder's device fleet — is constructed on
+// the scenario's scheduler/medium and publishes its counters into the
+// same telemetry registry.
+//
 // Run:  ./smart_home_twoway
 #include <cstdio>
+#include <memory>
 #include <optional>
 
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
 #include "wile/controller.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
@@ -39,15 +43,24 @@ std::optional<double> decode_setpoint(BytesView data) {
 }  // namespace
 
 int main() {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{99}};
-
   // --- the thermostat (battery powered, deep sleeps between beacons) ---
-  core::SenderConfig thermostat_cfg;
-  thermostat_cfg.device_id = kThermostatId;
-  thermostat_cfg.period = minutes(1);
-  thermostat_cfg.rx_window = core::RxWindow{msec(2), msec(20)};
-  core::Sender thermostat{scheduler, medium, {0, 0}, thermostat_cfg, Rng{1}};
+  auto scenario =
+      sim::ScenarioBuilder{}
+          .devices(1)
+          .gateways(0)  // the hub replaces the default monitor
+          .duty_cycle(minutes(1))
+          .wake_jitter(Duration{0})
+          .timeline_max_segments(0)
+          .medium_seed(99)
+          .device_rng([](int) { return Rng{1}; })
+          .configure_sender([](core::SenderConfig& cfg, int) {
+            cfg.device_id = kThermostatId;
+            cfg.rx_window = core::RxWindow{msec(2), msec(20)};
+          })
+          .auto_start(false)  // started below, once the callbacks exist
+          .build();
+  sim::Scheduler& scheduler = scenario->scheduler();
+  core::Sender& thermostat = *scenario->devices().front();
 
   double room_temp = 19.0;
   double setpoint = 20.0;
@@ -70,7 +83,7 @@ int main() {
 
   // --- the hub (mains powered) ---
   core::ControllerConfig hub_cfg;
-  core::Controller hub{scheduler, medium, {4, 2}, hub_cfg, Rng{2}};
+  core::Controller hub{scheduler, scenario->medium(), {4, 2}, hub_cfg, Rng{2}};
   hub.set_message_callback([&](const core::Message& msg, const core::RxMeta&) {
     if (msg.device_id != kThermostatId || msg.data.size() != 4) return;
     ByteReader r{msg.data};
@@ -79,6 +92,8 @@ int main() {
     std::printf("t=%6.1fs  [hub] report: room %.2f C, setpoint %.1f C\n",
                 to_seconds(scheduler.now().since_epoch()), temp, sp);
   });
+  hub.publish_metrics(scenario->metrics(),
+                      "node." + std::to_string(hub.node_id()) + ".controller");
 
   // The user bumps the setpoint twice during the simulation.
   scheduler.schedule_at(TimePoint{seconds(150)}, [&] {
@@ -96,8 +111,8 @@ int main() {
     hub.queue_downlink(kThermostatId, w.take());
   });
 
-  scheduler.run_until(TimePoint{minutes(10)});
-  thermostat.stop_duty_cycle();
+  scenario->run_until(TimePoint{minutes(10)});
+  scenario->stop_all();
 
   std::printf("\n--- after 10 minutes ---\n");
   std::printf("thermostat cycles: %llu, downlinks delivered: %llu/%llu, windows seen by "

@@ -506,4 +506,23 @@ net::Ipv4Address AccessPoint::allocate_ip(const MacAddress& sta) {
   return ip;
 }
 
+void AccessPoint::publish_metrics(telemetry::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.bind_counter(prefix + ".beacons_sent", &stats_.beacons_sent);
+  registry.bind_counter(prefix + ".probe_responses", &stats_.probe_responses);
+  registry.bind_counter(prefix + ".auth_responses", &stats_.auth_responses);
+  registry.bind_counter(prefix + ".assoc_responses", &stats_.assoc_responses);
+  registry.bind_counter(prefix + ".handshakes_completed", &stats_.handshakes_completed);
+  registry.bind_counter(prefix + ".acks_sent", &stats_.acks_sent);
+  registry.bind_counter(prefix + ".data_frames_received", &stats_.data_frames_received);
+  registry.bind_counter(prefix + ".eapol_frames_received", &stats_.eapol_frames_received);
+  registry.bind_counter(prefix + ".dhcp_acks_sent", &stats_.dhcp_acks_sent);
+  registry.bind_counter(prefix + ".arp_replies_sent", &stats_.arp_replies_sent);
+  registry.bind_counter(prefix + ".uplink_udp_datagrams", &stats_.uplink_udp_datagrams);
+  registry.bind_counter(prefix + ".ps_poll_received", &stats_.ps_poll_received);
+  registry.bind_counter(prefix + ".buffered_frames_delivered",
+                        &stats_.buffered_frames_delivered);
+  registry.bind_counter(prefix + ".outages", &stats_.outages);
+}
+
 }  // namespace wile::ap

@@ -153,4 +153,14 @@ void FaultInjector::radio_deaf(TimePoint start, Duration duration, NodeId node) 
          [this, node] { medium_.set_rx_blocked(node, false); });
 }
 
+void FaultInjector::publish_metrics(telemetry::MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  registry.bind_counter(prefix + ".windows_scheduled", &stats_.windows_scheduled);
+  registry.bind_counter(prefix + ".windows_started", &stats_.windows_started);
+  registry.bind_counter(prefix + ".windows_ended", &stats_.windows_ended);
+  registry.bind_counter(prefix + ".windows_active", &stats_.fault_windows_active);
+  registry.bind_counter(prefix + ".events_fired", &stats_.events_fired);
+  registry.bind_counter(prefix + ".jammer_bursts", &stats_.jammer_bursts);
+}
+
 }  // namespace wile::sim

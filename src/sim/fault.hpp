@@ -30,6 +30,7 @@
 
 #include "sim/medium.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -105,6 +106,11 @@ class FaultInjector {
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] bool any_active() const { return stats_.fault_windows_active > 0; }
+
+  /// Bind the fault counters into a telemetry registry under `prefix`
+  /// ("fault.windows_started", ...); stats() stays the same slots.
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix = "fault") const;
 
  private:
   class Jammer;

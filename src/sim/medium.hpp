@@ -31,6 +31,7 @@
 
 #include "phy/channel.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/frame_buffer.hpp"
 #include "util/rng.hpp"
@@ -174,6 +175,13 @@ class Medium {
     std::uint64_t channel_losses = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Register this medium's counters with a telemetry registry under
+  /// `prefix` ("medium.transmissions", ...). The registry binds pointers
+  /// to the same slots stats() exposes, so the legacy accessor and the
+  /// registry can never disagree, and the TX/RX hot path is untouched.
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix = "medium") const;
 
  private:
   struct Interferer {

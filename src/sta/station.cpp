@@ -793,4 +793,21 @@ void Station::disarm_step_timeout() {
   step_attempts_ = 0;
 }
 
+void Station::publish_metrics(telemetry::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+  registry.bind_counter(prefix + ".mac_frames_sent", &stats_.mac_frames_sent);
+  registry.bind_counter(prefix + ".mac_frames_received", &stats_.mac_frames_received);
+  registry.bind_counter(prefix + ".acks_sent", &stats_.acks_sent);
+  registry.bind_counter(prefix + ".acks_received", &stats_.acks_received);
+  registry.bind_counter(prefix + ".connect_mac_frames", &stats_.connect_mac_frames);
+  registry.bind_counter(prefix + ".connect_higher_layer_frames",
+                        &stats_.connect_higher_layer_frames);
+  registry.bind_counter(prefix + ".data_packets_sent", &stats_.data_packets_sent);
+  registry.bind_counter(prefix + ".beacons_heard", &stats_.beacons_heard);
+  registry.bind_counter(prefix + ".ps_polls_sent", &stats_.ps_polls_sent);
+  registry.bind_counter(prefix + ".downlink_packets", &stats_.downlink_packets);
+  registry.bind_counter(prefix + ".beacons_missed", &stats_.beacons_missed);
+  registry.bind_counter(prefix + ".link_losses", &stats_.link_losses);
+}
+
 }  // namespace wile::sta

@@ -1,0 +1,21 @@
+#include "telemetry/trace.hpp"
+
+namespace wile::telemetry {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::Cycle: return "cycle";
+    case Phase::Wake: return "wake";
+    case Phase::Sample: return "sample";
+    case Phase::Encode: return "encode";
+    case Phase::Csma: return "csma";
+    case Phase::Tx: return "tx";
+    case Phase::RxWindow: return "rx_window";
+    case Phase::Sleep: return "sleep";
+    case Phase::Fault: return "fault";
+    case Phase::Other: break;
+  }
+  return "other";
+}
+
+}  // namespace wile::telemetry

@@ -1,0 +1,95 @@
+// Structured protocol-phase tracing.
+//
+// Components emit begin/end span events (wake -> sample -> encode ->
+// CSMA -> TX -> sleep) and instants, timestamped with the simulated
+// clock they already run on — so a trace is exactly as deterministic as
+// the simulation that produced it, and two runs with the same seed emit
+// byte-identical traces. The tracer is a bounded flat buffer: recording
+// is an enabled-flag check plus a struct append, nothing else; disabled
+// (the default) it is a single predictable branch, which is why every
+// component can keep its trace hooks compiled in.
+//
+// Spans are identified by (node, phase); overlapping spans of different
+// phases on one node are fine (a TX span inside a cycle span), repeated
+// begins of the same phase just produce repeated events — the tracer
+// records what happened, pairing is the exporter's/consumer's job.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wile::telemetry {
+
+/// Protocol phases of the Wi-LE duty cycle plus generic infrastructure
+/// phases. Keep the enumerators stable: exported traces carry the name.
+enum class Phase : std::uint8_t {
+  Cycle,     // whole wake->sleep span
+  Wake,      // boot + radio init
+  Sample,    // payload acquisition (the provider callback)
+  Encode,    // codec/beacon assembly
+  Csma,      // deferral + backoff before injection
+  Tx,        // frames on the air
+  RxWindow,  // two-way listen window
+  Sleep,     // shutdown + deep sleep entry
+  Fault,     // fault-injection window
+  Other,
+};
+
+[[nodiscard]] std::string_view phase_name(Phase p);
+
+enum class TraceEventKind : std::uint8_t { Begin, End, Instant };
+
+struct TraceEvent {
+  std::int64_t at_us = 0;
+  std::uint32_t node = 0;
+  Phase phase = Phase::Other;
+  TraceEventKind kind = TraceEventKind::Instant;
+};
+
+class Tracer {
+ public:
+  /// Events retained before new ones are counted as dropped (bounds
+  /// memory on fleet-sized runs; 1M events = 16 MB).
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  void set_max_events(std::size_t n) { max_events_ = n; }
+
+  void begin(TimePoint at, std::uint32_t node, Phase phase) {
+    emit(at, node, phase, TraceEventKind::Begin);
+  }
+  void end(TimePoint at, std::uint32_t node, Phase phase) {
+    emit(at, node, phase, TraceEventKind::End);
+  }
+  void instant(TimePoint at, std::uint32_t node, Phase phase) {
+    emit(at, node, phase, TraceEventKind::Instant);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  void emit(TimePoint at, std::uint32_t node, Phase phase, TraceEventKind kind) {
+    if (!enabled_) return;
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({at.us(), node, phase, kind});
+  }
+
+  bool enabled_ = false;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace wile::telemetry

@@ -173,4 +173,13 @@ void Controller::schedule_injection(const RxWindow& window, Message message, TxK
   });
 }
 
+void Controller::publish_metrics(telemetry::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.bind_counter(prefix + ".downlinks_queued", &stats_.downlinks_queued);
+  registry.bind_counter(prefix + ".downlinks_sent", &stats_.downlinks_sent);
+  registry.bind_counter(prefix + ".windows_seen", &stats_.windows_seen);
+  registry.bind_counter(prefix + ".acks_sent", &stats_.acks_sent);
+  registry.bind_counter(prefix + ".reports_sent", &stats_.reports_sent);
+}
+
 }  // namespace wile::core

@@ -63,6 +63,11 @@ class Controller : public sim::MediumClient {
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
 
+  /// Bind controller counters into a telemetry registry under `prefix`
+  /// (canonically "node.<id>.controller").
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix) const;
+
   // --- sim::MediumClient -----------------------------------------------------
   void on_frame(const sim::RxFrame& frame) override;
   [[nodiscard]] bool rx_enabled() const override;

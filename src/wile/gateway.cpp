@@ -173,4 +173,22 @@ void Gateway::on_send_result(QueuedReading item, bool success) {
   }
 }
 
+void Gateway::publish_metrics(telemetry::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+  registry.bind_counter(prefix + ".received", &stats_.received);
+  registry.bind_counter(prefix + ".forwarded", &stats_.forwarded);
+  registry.bind_counter(prefix + ".dropped_queue_full", &stats_.dropped_queue_full);
+  registry.bind_counter(prefix + ".forward_failures", &stats_.forward_failures);
+  registry.bind_counter(prefix + ".retries", &stats_.retries);
+  registry.bind_counter(prefix + ".dropped_retry_budget", &stats_.dropped_retry_budget);
+  registry.bind_counter(prefix + ".uplink_losses", &stats_.uplink_losses);
+  registry.bind_counter(prefix + ".reconnect_attempts", &stats_.reconnect_attempts);
+  registry.bind_counter(prefix + ".reassociations", &stats_.reassociations);
+  registry.bind_counter_fn(prefix + ".queue_depth", [this] {
+    return static_cast<std::uint64_t>(queue_.size());
+  });
+  monitor_->publish_metrics(registry, prefix + ".monitor");
+  station_->publish_metrics(registry, prefix + ".station");
+}
+
 }  // namespace wile::core

@@ -99,6 +99,12 @@ class Gateway {
 
   [[nodiscard]] bool uplink_ready() const { return uplink_ready_; }
   [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+
+  /// Bind bridge counters (and the monitor radio's receiver counters,
+  /// under `prefix`.monitor) into a telemetry registry; the stats()
+  /// accessors keep reading the same slots.
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix) const;
   [[nodiscard]] const Receiver& monitor() const { return *monitor_; }
   [[nodiscard]] const sta::Station& station() const { return *station_; }
 

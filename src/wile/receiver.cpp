@@ -273,4 +273,29 @@ void Receiver::drain_pending(std::uint32_t device_id, const RxMeta& meta) {
   }
 }
 
+void Receiver::publish_metrics(telemetry::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  registry.bind_counter(prefix + ".beacons_seen", &stats_.beacons_seen);
+  registry.bind_counter(prefix + ".wile_beacons", &stats_.wile_beacons);
+  registry.bind_counter(prefix + ".fragments", &stats_.fragments);
+  registry.bind_counter(prefix + ".messages", &stats_.messages);
+  registry.bind_counter(prefix + ".duplicates", &stats_.duplicates);
+  registry.bind_counter(prefix + ".crc_failures", &stats_.crc_failures);
+  registry.bind_counter(prefix + ".decrypt_failures", &stats_.decrypt_failures);
+  registry.bind_counter(prefix + ".fcs_failures", &stats_.fcs_failures);
+  registry.bind_counter(prefix + ".collisions_observed", &stats_.collisions_observed);
+  registry.bind_counter(prefix + ".fec.parity_beacons", &stats_.parity_beacons);
+  registry.bind_counter(prefix + ".fec.recovery_beacons", &stats_.recovery_beacons);
+  registry.bind_counter(prefix + ".fec.recovered", &stats_.recovered);
+  registry.bind_counter(prefix + ".partials_evicted", &stats_.partials_evicted);
+  registry.bind_counter_fn(prefix + ".devices", [this] {
+    return static_cast<std::uint64_t>(devices_.size());
+  });
+  registry.bind_counter_fn(prefix + ".estimated_losses", [this] {
+    std::uint64_t total = 0;
+    for (const auto& [id, dev] : devices_) total += dev.estimated_losses;
+    return total;
+  });
+}
+
 }  // namespace wile::core

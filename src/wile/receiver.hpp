@@ -18,6 +18,7 @@
 #include "dot11/frame.hpp"
 #include "sim/medium.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 #include "wile/codec.hpp"
 
 namespace wile::core {
@@ -83,6 +84,12 @@ class Receiver : public sim::MediumClient {
   void set_message_callback(MessageCallback cb) { callback_ = std::move(cb); }
 
   [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
+
+  /// Bind this receiver's counters into a telemetry registry under
+  /// `prefix` (canonically "node.<id>.receiver"); stats() remains a
+  /// view of the exact same slots.
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix) const;
   /// Registry ordered by device id (stable iteration for tests/benches).
   [[nodiscard]] const std::map<std::uint32_t, DeviceInfo>& devices() const {
     return devices_;

@@ -1,0 +1,190 @@
+#include "wile/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace wile::sim {
+
+namespace {
+
+std::string node_prefix(NodeId id, const char* component) {
+  return "node." + std::to_string(id) + "." + component;
+}
+
+}  // namespace
+
+ScenarioBuilder& ScenarioBuilder::payload(Bytes fixed) {
+  make_provider_ = [fixed = std::move(fixed)](int) -> core::Sender::PayloadProvider {
+    return [fixed] { return fixed; };
+  };
+  return *this;
+}
+
+std::unique_ptr<Scenario> ScenarioBuilder::build() const {
+  if (n_devices_ < 0) throw std::invalid_argument("ScenarioBuilder: devices < 0");
+  // Scenario's constructor is private; go through new directly.
+  return std::unique_ptr<Scenario>(new Scenario(*this));
+}
+
+Scenario::Scenario(const ScenarioBuilder& b)
+    : medium_{scheduler_, phy::Channel{b.channel_}, Rng{b.medium_seed_}},
+      telemetry_enabled_(b.telemetry_),
+      // Derived, not equal to any seed the medium/devices use: the fault
+      // injector's rng must not alias theirs.
+      fault_seed_(b.master_seed_ ^ 0x0FA1'7000),
+      user_on_message_(b.on_message_) {
+  if (b.loss_floor_) medium_.set_loss_floor(*b.loss_floor_);
+  tracer_.set_max_events(b.trace_max_events_);
+  tracer_.set_enabled(b.trace_);
+
+  // --- devices: exact scale_fleet wiring order -------------------------------
+  // Master fork per device and the staggered-start schedule_at are
+  // interleaved inside one loop, in this order, because that is the
+  // historical construction sequence the determinism oracle pinned.
+  const int n = b.n_devices_;
+  const int side =
+      n > 0 ? static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) : 1;
+  const double extent = side * b.spacing_m_;
+  const auto period_us =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     b.period_)
+                                     .count());
+
+  Rng master{b.master_seed_};
+  senders_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = static_cast<std::uint32_t>(i + 1);
+    cfg.period = b.period_;
+    cfg.wake_jitter = b.wake_jitter_;
+    cfg.timeline_max_segments = b.timeline_max_segments_;
+    if (b.configure_sender_) b.configure_sender_(cfg, i);
+
+    const Position pos = b.place_device_
+                             ? b.place_device_(i)
+                             : Position{(i % side) * b.spacing_m_,
+                                        (i / side) * b.spacing_m_};
+    // The fork happens whether or not device_rng overrides it, so
+    // toggling the override never shifts the master sequence for later
+    // consumers.
+    Rng forked = master.fork();
+    Rng rng = b.device_rng_ ? b.device_rng_(i) : std::move(forked);
+    senders_.push_back(std::make_unique<core::Sender>(scheduler_, medium_, pos,
+                                                      cfg, std::move(rng)));
+    core::Sender* s = senders_.back().get();
+    if (b.trace_) s->set_tracer(&tracer_);
+
+    if (!b.auto_start_) continue;
+    core::Sender::PayloadProvider provider =
+        b.make_provider_ ? b.make_provider_(i)
+                         : [] { return Bytes(16, 0xA5); };
+    core::Sender::SendCallback per_cycle;
+    if (b.on_send_report_) {
+      per_cycle = [fn = b.on_send_report_, i](const core::SendReport& r) {
+        fn(i, r);
+      };
+    }
+    if (b.stagger_) {
+      // Stagger duty-cycle starts uniformly across one period so the
+      // fleet doesn't wake in a single thundering herd at t=0.
+      const auto start_us = static_cast<std::int64_t>(
+          (static_cast<std::uint64_t>(i) * period_us) /
+          static_cast<std::uint64_t>(n));
+      scheduler_.schedule_at(
+          TimePoint{usec(start_us)},
+          [s, provider = std::move(provider), per_cycle = std::move(per_cycle)] {
+            s->start_duty_cycle(std::move(provider), std::move(per_cycle));
+          });
+    } else {
+      s->start_duty_cycle(std::move(provider), std::move(per_cycle));
+    }
+  }
+
+  // --- gateways --------------------------------------------------------------
+  // Environment-only scenarios (devices(0)) get no implicit gateway;
+  // any fleet gets at least one.
+  const int n_gw = b.n_gateways_
+                       ? *b.n_gateways_
+                       : (n > 0 ? std::max(1, n / std::max(1, b.gateway_every_)) : 0);
+  receivers_.reserve(static_cast<std::size_t>(n_gw));
+  for (int k = 0; k < n_gw; ++k) {
+    core::ReceiverConfig cfg;
+    if (b.configure_gateway_) b.configure_gateway_(cfg, k);
+    const double c = (k + 0.5) * extent / n_gw;  // along the diagonal
+    const Position pos = b.place_gateway_ ? b.place_gateway_(k) : Position{c, c};
+    receivers_.push_back(
+        std::make_unique<core::Receiver>(scheduler_, medium_, pos, cfg));
+    receivers_.back()->set_message_callback(
+        [this](const core::Message& msg, const core::RxMeta& meta) {
+          ++messages_;
+          if (user_on_message_) user_on_message_(msg, meta);
+        });
+  }
+
+  // --- telemetry bindings ----------------------------------------------------
+  // Everything above ran without touching the registry, so a disabled
+  // scenario is byte-identical to a pre-telemetry build: zero registry
+  // entries, zero extra events, zero extra RNG draws.
+  if (!telemetry_enabled_) return;
+
+  registry_.bind_counter_fn("scheduler.events_run",
+                            [this] { return scheduler_.events_run(); });
+  registry_.bind_gauge_fn("scheduler.pending_events", [this] {
+    return static_cast<double>(scheduler_.pending_events());
+  });
+  registry_.bind_gauge_fn("sim.time_us", [this] {
+    return static_cast<double>(scheduler_.now().since_epoch().count());
+  });
+  medium_.publish_metrics(registry_);
+  registry_.bind_counter_fn("fleet.messages", [this] { return messages_; });
+  registry_.bind_gauge_fn("fleet.devices",
+                          [this] { return static_cast<double>(senders_.size()); });
+  registry_.bind_gauge_fn("fleet.gateways", [this] {
+    return static_cast<double>(receivers_.size());
+  });
+
+  if (b.per_node_) {
+    for (auto& s : senders_) {
+      s->publish_metrics(registry_, node_prefix(s->node_id(), "sender"));
+    }
+    for (auto& r : receivers_) {
+      r->publish_metrics(registry_, node_prefix(r->node_id(), "receiver"));
+    }
+  }
+
+  if (b.sample_period_) {
+    sampler_ = std::make_unique<telemetry::PeriodicSampler<Scheduler>>(
+        scheduler_, registry_, *b.sample_period_);
+    sampler_->start();
+  }
+}
+
+Scenario::~Scenario() = default;
+
+FaultInjector& Scenario::faults() {
+  if (!faults_) {
+    faults_ = std::make_unique<FaultInjector>(scheduler_, medium_, Rng{fault_seed_});
+    if (telemetry_enabled_) faults_->publish_metrics(registry_);
+  }
+  return *faults_;
+}
+
+const std::vector<telemetry::Snapshot>& Scenario::samples() const {
+  static const std::vector<telemetry::Snapshot> kEmpty;
+  return sampler_ ? sampler_->samples() : kEmpty;
+}
+
+std::string Scenario::export_json(telemetry::ExportMeta meta,
+                                  bool include_trace_events) {
+  const telemetry::Snapshot snap = snapshot();
+  return telemetry::to_json(snap, samples(), meta, &tracer_, include_trace_events);
+}
+
+void Scenario::stop_all() {
+  for (auto& s : senders_) s->stop_duty_cycle();
+}
+
+}  // namespace wile::sim

@@ -1,0 +1,262 @@
+// ScenarioBuilder — one setup API for every bench, example and test.
+//
+// Before this facade every entry point hand-wired the same ritual:
+// Scheduler, Medium with a seeded Rng, a grid of Senders forked from a
+// master Rng, staggered duty-cycle starts, gateway Receivers, and (since
+// the telemetry subsystem) a MetricsRegistry with per-component
+// publish_metrics calls. ScenarioBuilder owns that ritual once:
+//
+//   auto scenario = sim::ScenarioBuilder{}
+//                       .devices(1000)
+//                       .grid_spacing_m(5)
+//                       .gateway_every(2500)
+//                       .duty_cycle(seconds(60))
+//                       .seed(0xF1EE7C0DE)
+//                       .build();
+//   scenario->run_for(seconds(600));
+//   std::string json = scenario->export_json({.bench = "my_bench"});
+//
+// The default build() replicates bench/scale_fleet.cpp's historical
+// wiring *exactly* — same construction order, same Rng fork sequence,
+// same staggered start times — so scenarios are bit-identical to the
+// hand-wired setups they replaced (tests/test_telemetry.cpp pins this).
+//
+// The builder lives in namespace wile::sim because it assembles the
+// simulation environment; it is compiled into wile_core because the
+// nodes it owns (Sender/Receiver) live there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+#include "util/rng.hpp"
+#include "wile/receiver.hpp"
+#include "wile/sender.hpp"
+
+namespace wile::sim {
+
+class ScenarioBuilder;
+
+/// A fully assembled simulation: scheduler, medium, Wi-LE device fleet,
+/// gateway receivers, and the telemetry pipeline bound over all of them.
+/// Non-movable (components hold references into each other); created via
+/// ScenarioBuilder::build() behind a unique_ptr.
+class Scenario {
+ public:
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+  ~Scenario();
+
+  // --- environment -----------------------------------------------------------
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] Medium& medium() { return medium_; }
+  /// Lazily constructed on first use (so scenarios that never inject
+  /// faults pay nothing and schedule nothing).
+  [[nodiscard]] FaultInjector& faults();
+
+  // --- nodes -----------------------------------------------------------------
+  [[nodiscard]] std::vector<std::unique_ptr<core::Sender>>& devices() {
+    return senders_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<core::Receiver>>& gateways() {
+    return receivers_;
+  }
+  /// Messages delivered across all gateway receivers (deduplicated per
+  /// receiver, summed over receivers — matches the legacy benches'
+  /// shared counter).
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+  // --- telemetry -------------------------------------------------------------
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return registry_; }
+  [[nodiscard]] telemetry::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] bool telemetry_enabled() const { return telemetry_enabled_; }
+  /// Snapshots collected by the periodic sampler (empty unless
+  /// sample_every() was configured).
+  [[nodiscard]] const std::vector<telemetry::Snapshot>& samples() const;
+  /// Whole-registry snapshot at the current simulated time.
+  [[nodiscard]] telemetry::Snapshot snapshot() {
+    return registry_.snapshot(scheduler_.now());
+  }
+  /// Serialize the scenario's full telemetry state (snapshot + sampler
+  /// series + trace summary) in the wile-telemetry-v1 schema.
+  [[nodiscard]] std::string export_json(telemetry::ExportMeta meta,
+                                        bool include_trace_events = false);
+
+  // --- running ---------------------------------------------------------------
+  void run_until(TimePoint deadline) { scheduler_.run_until(deadline); }
+  void run_for(Duration d) { scheduler_.run_until(scheduler_.now() + d); }
+  /// Stop every device's duty cycle (drain before reading final stats).
+  void stop_all();
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario(const ScenarioBuilder& b);
+
+  Scheduler scheduler_;
+  Medium medium_;
+  telemetry::MetricsRegistry registry_;
+  telemetry::Tracer tracer_;
+  bool telemetry_enabled_ = true;
+  std::unique_ptr<telemetry::PeriodicSampler<Scheduler>> sampler_;
+  std::unique_ptr<FaultInjector> faults_;
+  std::uint64_t fault_seed_ = 0;
+  std::vector<std::unique_ptr<core::Sender>> senders_;
+  std::vector<std::unique_ptr<core::Receiver>> receivers_;
+  std::uint64_t messages_ = 0;
+  core::Receiver::MessageCallback user_on_message_;
+};
+
+/// Fluent builder. Every knob has the scale_fleet default, so
+/// `.devices(n).build()` reproduces the historical bench wiring.
+class ScenarioBuilder {
+ public:
+  /// Number of Wi-LE sender devices (grid-placed, ids 1..n by default).
+  ScenarioBuilder& devices(int n) { n_devices_ = n; return *this; }
+  /// Grid pitch for default placement (square grid, row-major).
+  ScenarioBuilder& grid_spacing_m(double m) { spacing_m_ = m; return *this; }
+  /// One gateway receiver per this many devices (min 1 gateway), placed
+  /// along the grid diagonal.
+  ScenarioBuilder& gateway_every(int n) { gateway_every_ = n; return *this; }
+  /// Explicit gateway count (overrides gateway_every).
+  ScenarioBuilder& gateways(int n) { n_gateways_ = n; return *this; }
+  /// Duty-cycle period for every device.
+  ScenarioBuilder& duty_cycle(Duration period) { period_ = period; return *this; }
+  ScenarioBuilder& wake_jitter(Duration j) { wake_jitter_ = j; return *this; }
+  /// Master RNG seed; each device gets master.fork() in construction
+  /// order (the scale_fleet discipline).
+  ScenarioBuilder& seed(std::uint64_t s) { master_seed_ = s; return *this; }
+  /// Medium (propagation/loss) RNG seed, independent of the master.
+  ScenarioBuilder& medium_seed(std::uint64_t s) { medium_seed_ = s; return *this; }
+  ScenarioBuilder& channel(phy::ChannelConfig cfg) { channel_ = cfg; return *this; }
+  /// SNR-independent injected loss floor on the medium (ablations).
+  ScenarioBuilder& loss_floor(double p) { loss_floor_ = p; return *this; }
+  /// Fixed payload every device sends each cycle.
+  ScenarioBuilder& payload(Bytes fixed);
+  /// Per-device payload provider factory: called once per device index,
+  /// returns that device's per-cycle provider. Overrides payload().
+  ScenarioBuilder& payload_provider(
+      std::function<core::Sender::PayloadProvider(int)> make) {
+    make_provider_ = std::move(make);
+    return *this;
+  }
+  /// Hook to adjust each device's SenderConfig after the defaults are
+  /// applied (rx windows, keys, FEC, CSMA, ...).
+  ScenarioBuilder& configure_sender(
+      std::function<void(core::SenderConfig&, int)> fn) {
+    configure_sender_ = std::move(fn);
+    return *this;
+  }
+  /// Hook to adjust each gateway's ReceiverConfig.
+  ScenarioBuilder& configure_gateway(
+      std::function<void(core::ReceiverConfig&, int)> fn) {
+    configure_gateway_ = std::move(fn);
+    return *this;
+  }
+  /// Override default grid placement.
+  ScenarioBuilder& place_device(std::function<Position(int)> fn) {
+    place_device_ = std::move(fn);
+    return *this;
+  }
+  /// Override default diagonal gateway placement.
+  ScenarioBuilder& place_gateway(std::function<Position(int)> fn) {
+    place_gateway_ = std::move(fn);
+    return *this;
+  }
+  /// Override the per-device RNG (default: master.fork() per device).
+  /// Legacy setups that pinned explicit per-node seeds use this to stay
+  /// bit-identical.
+  ScenarioBuilder& device_rng(std::function<Rng(int)> fn) {
+    device_rng_ = std::move(fn);
+    return *this;
+  }
+  /// Stagger duty-cycle starts uniformly across one period (default on —
+  /// avoids the t=0 thundering herd). Off = all devices start at t=0.
+  ScenarioBuilder& stagger_starts(bool on) { stagger_ = on; return *this; }
+  /// Power-timeline retention per device (see PowerTimeline).
+  ScenarioBuilder& timeline_max_segments(std::size_t n) {
+    timeline_max_segments_ = n;
+    return *this;
+  }
+  /// Schedule every device's duty cycle at build time (default). Off =
+  /// the caller starts devices manually.
+  ScenarioBuilder& auto_start(bool on) { auto_start_ = on; return *this; }
+  /// Callback for every message any gateway delivers (the scenario's
+  /// aggregate messages() counter is maintained regardless).
+  ScenarioBuilder& on_message(core::Receiver::MessageCallback cb) {
+    on_message_ = std::move(cb);
+    return *this;
+  }
+  /// Per-cycle send report callback (device index, report).
+  ScenarioBuilder& on_send_report(
+      std::function<void(int, const core::SendReport&)> fn) {
+    on_send_report_ = std::move(fn);
+    return *this;
+  }
+
+  // --- telemetry knobs -------------------------------------------------------
+  /// Master switch. Disabled = no metrics are registered at all: zero
+  /// registry entries, zero snapshots, zero sampler events — the
+  /// simulation is byte-identical to a pre-telemetry build.
+  ScenarioBuilder& telemetry(bool on) { telemetry_ = on; return *this; }
+  /// Register per-node metrics (node.<id>.sender.* / .receiver.*) in
+  /// addition to aggregates. Default on; fleet-scale benches turn it
+  /// off above ~10k nodes to keep registry RSS out of the measurement.
+  ScenarioBuilder& per_node_metrics(bool on) { per_node_ = on; return *this; }
+  /// Enable protocol-phase tracing with the given event-buffer bound.
+  ScenarioBuilder& trace(bool on,
+                         std::size_t max_events = telemetry::Tracer::kDefaultMaxEvents) {
+    trace_ = on;
+    trace_max_events_ = max_events;
+    return *this;
+  }
+  /// Periodically snapshot aggregate metrics on a scheduler timer.
+  ScenarioBuilder& sample_every(Duration period) {
+    sample_period_ = period;
+    return *this;
+  }
+
+  [[nodiscard]] std::unique_ptr<Scenario> build() const;
+
+ private:
+  friend class Scenario;
+
+  int n_devices_ = 0;
+  double spacing_m_ = 5.0;
+  int gateway_every_ = 2500;
+  std::optional<int> n_gateways_;
+  Duration period_ = seconds(60);
+  Duration wake_jitter_ = msec(500);
+  std::uint64_t master_seed_ = 0xF1EE7C0DE;
+  std::uint64_t medium_seed_ = 0xF1EE7;
+  phy::ChannelConfig channel_{};
+  std::optional<double> loss_floor_;
+  std::function<core::Sender::PayloadProvider(int)> make_provider_;
+  std::function<void(core::SenderConfig&, int)> configure_sender_;
+  std::function<void(core::ReceiverConfig&, int)> configure_gateway_;
+  std::function<Position(int)> place_device_;
+  std::function<Position(int)> place_gateway_;
+  std::function<Rng(int)> device_rng_;
+  bool stagger_ = true;
+  std::size_t timeline_max_segments_ = 64;
+  bool auto_start_ = true;
+  core::Receiver::MessageCallback on_message_;
+  std::function<void(int, const core::SendReport&)> on_send_report_;
+  bool telemetry_ = true;
+  bool per_node_ = true;
+  bool trace_ = false;
+  std::size_t trace_max_events_ = telemetry::Tracer::kDefaultMaxEvents;
+  std::optional<Duration> sample_period_;
+};
+
+}  // namespace wile::sim

@@ -34,8 +34,10 @@ Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position pos
   csma_cfg.tx_power_dbm = config_.tx_power_dbm;
   csma_cfg.band = config_.band;
   csma_ = std::make_unique<sim::Csma>(scheduler_, medium_, node_id_, rng_.fork(), csma_cfg);
-  csma_->set_tx_listener(
-      [this](Duration airtime, phy::WifiRate) { tracker_.on_tx_start(airtime); });
+  csma_->set_tx_listener([this](Duration airtime, phy::WifiRate) {
+    tracker_.on_tx_start(airtime);
+    trace_end(telemetry::Phase::Csma);  // deferral over, frame on the air
+  });
 
   // Precompute the constant beacon-body prefix: timestamp placeholder is
   // patched per send; SSID (hidden unless spoofed), rates and channel
@@ -92,6 +94,7 @@ void Sender::schedule_next_cycle() {
     if (phase_ != Phase::DeepSleep) return;  // previous cycle still busy
     // Reliable mode: don't consume fresh sensor data while a
     // retransmission is pending.
+    if (!will_retransmit()) trace_instant(telemetry::Phase::Sample);
     Bytes data = will_retransmit() ? Bytes{} : provider_();
     begin_cycle(std::move(data), [this](const SendReport& report) {
       if (per_cycle_) per_cycle_(report);
@@ -185,6 +188,8 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   ++cycles_;
   cycle_done_ = std::move(done);
   wake_time_ = scheduler_.now();
+  trace_begin(telemetry::Phase::Cycle);
+  trace_begin(telemetry::Phase::Wake);
   cycle_airtime_ = Duration{0};
   cycle_beacons_ = 0;
   cycle_downlinks_ = 0;
@@ -243,6 +248,7 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   }
 
   std::vector<CycleMpdu> mpdus;
+  trace_instant(telemetry::Phase::Encode);
   try {
     std::vector<CycleMpdu> once;
     if (config_.ssid_stuffing) {
@@ -286,18 +292,21 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   const Duration init =
       config_.power.boot_from_deep_sleep + config_.power.wifi_inject_init;
   scheduler_.schedule_in(init, [this, mpdus = std::move(mpdus)]() mutable {
+    trace_end(telemetry::Phase::Wake);
     if (cycle_failed_ || mpdus.empty()) {
       finish_cycle();
       return;
     }
     phase_ = Phase::Tx;
     tracker_.set_phase(config_.power.cpu_active, kPhaseTx);
+    trace_begin(telemetry::Phase::Tx);
     inject_fragments(std::move(mpdus), 0);
   });
 }
 
 void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
   if (index >= mpdus.size()) {
+    trace_end(telemetry::Phase::Tx);
     after_last_beacon();
     return;
   }
@@ -305,12 +314,16 @@ void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
   const Duration airtime = phy::frame_airtime(mpdu.size(), config_.rate, config_.band);
   cycle_airtime_ += airtime;
   ++cycle_beacons_;
+  ++beacons_sent_total_;
+  tx_airtime_total_ += airtime;
   if (mpdus[index].fec) {
     cycle_parity_airtime_ += airtime;
     ++cycle_parity_beacons_;
+    ++parity_beacons_total_;
   }
 
   if (config_.use_csma) {
+    trace_begin(telemetry::Phase::Csma);
     csma_->send(mpdu, config_.rate, /*expect_ack=*/false,
                 [this, mpdus = std::move(mpdus), index](const sim::Csma::Result&) mutable {
                   inject_fragments(std::move(mpdus), index + 1);
@@ -343,7 +356,11 @@ void Sender::after_last_beacon() {
   scheduler_.schedule_in(config_.rx_window->offset, [this] {
     phase_ = Phase::RxWindow;
     tracker_.set_phase(config_.power.radio_rx, kPhaseRxWindow);
-    scheduler_.schedule_in(config_.rx_window->duration, [this] { finish_cycle(); });
+    trace_begin(telemetry::Phase::RxWindow);
+    scheduler_.schedule_in(config_.rx_window->duration, [this] {
+      trace_end(telemetry::Phase::RxWindow);
+      finish_cycle();
+    });
   });
 }
 
@@ -373,6 +390,12 @@ void Sender::finish_cycle() {
     report.downlinks_received = cycle_downlinks_;
     report.acked = cycle_acked_;
     report.retransmission = cycle_retransmission_;
+    if (!report.success) ++cycles_failed_total_;
+    if (cycle_active_hist_ != nullptr) {
+      cycle_active_hist_->record(static_cast<std::uint64_t>(report.active_time.count()));
+    }
+    trace_instant(telemetry::Phase::Sleep);
+    trace_end(telemetry::Phase::Cycle);
     if (cycle_done_) {
       auto cb = std::move(cycle_done_);
       cycle_done_ = {};
@@ -413,6 +436,7 @@ void Sender::on_frame(const sim::RxFrame& frame) {
     m.type = f.type;
     m.data = f.data;
     ++cycle_downlinks_;
+    ++downlinks_total_;
     if (downlink_cb_) downlink_cb_(m);
   }
 }
@@ -448,6 +472,33 @@ void Sender::on_channel_report(const ChannelReport& report) {
     raise_streak_ = 0;
     clear_streak_ = 0;
   }
+}
+
+void Sender::publish_metrics(telemetry::MetricsRegistry& registry,
+                             const std::string& prefix) {
+  registry.bind_counter(prefix + ".cycles", &cycles_);
+  registry.bind_counter(prefix + ".cycles_failed", &cycles_failed_total_);
+  registry.bind_counter(prefix + ".tx.beacons", &beacons_sent_total_);
+  registry.bind_counter(prefix + ".tx.parity_beacons", &parity_beacons_total_);
+  registry.bind_counter_fn(prefix + ".tx.airtime_us", [this] {
+    return static_cast<std::uint64_t>(tx_airtime_total_.count());
+  });
+  registry.bind_counter(prefix + ".rx.downlinks", &downlinks_total_);
+  registry.bind_counter(prefix + ".fec.recovery_beacons", &recovery_beacons_sent_);
+  registry.bind_counter(prefix + ".adapt.reports_received", &reports_received_);
+  registry.bind_counter(prefix + ".adapt.tier_raises", &tier_raises_);
+  registry.bind_counter(prefix + ".adapt.tier_clears", &tier_clears_);
+  registry.bind_counter(prefix + ".reliable.dropped_unacked", &dropped_unacked_);
+  registry.bind_gauge_fn(prefix + ".adapt.tier",
+                         [this] { return static_cast<double>(tier_); });
+  // Integrated energy since simulation start. PowerTimeline folds old
+  // segment history on fleet runs but keeps the from-zero integral exact
+  // (see PowerTimeline::set_max_segments), so this gauge is always the
+  // true lifetime energy.
+  registry.bind_gauge_fn(prefix + ".energy_j", [this] {
+    return timeline_.energy_between(TimePoint{}, scheduler_.now()).value;
+  });
+  cycle_active_hist_ = registry.histogram(prefix + ".cycle_active_us");
 }
 
 }  // namespace wile::core

@@ -32,6 +32,8 @@
 #include "sim/csma.hpp"
 #include "sim/medium.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/mac_address.hpp"
 #include "util/rng.hpp"
 #include "wile/codec.hpp"
@@ -215,6 +217,26 @@ class Sender : public sim::MediumClient {
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
   [[nodiscard]] std::uint32_t next_sequence() const { return sequence_; }
   [[nodiscard]] std::uint64_t cycles_run() const { return cycles_; }
+  /// Beacons injected since construction (fragments, repeats, parity and
+  /// recovery beacons included).
+  [[nodiscard]] std::uint64_t beacons_sent() const { return beacons_sent_total_; }
+  /// Cumulative on-air time of everything this device transmitted.
+  [[nodiscard]] Duration tx_airtime_total() const { return tx_airtime_total_; }
+
+  // --- telemetry -------------------------------------------------------------
+  /// Bind this device's counters into a telemetry registry under
+  /// `prefix` (canonically "node.<id>.sender"): TX counts/airtime,
+  /// cycle counters, FEC/adaptation state and an integrated-energy
+  /// gauge over the power timeline. Also claims a registry-owned
+  /// histogram of per-cycle active time. Non-const only because the
+  /// histogram slot is cached for lookup-free recording.
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix);
+
+  /// Attach a protocol-phase tracer (nullptr detaches). The sender emits
+  /// wake/sample/encode/csma/tx/rx-window/sleep spans on the simulated
+  /// clock only while the tracer is attached AND enabled.
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
   /// Reliable mode: messages abandoned after reliable_max_attempts.
   [[nodiscard]] std::uint64_t messages_dropped_unacked() const {
     return dropped_unacked_;
@@ -281,10 +303,35 @@ class Sender : public sim::MediumClient {
   /// Precomputed beacon-body prefix (everything before the vendor IEs).
   Bytes body_prefix_;
 
+  // --- telemetry hooks (null/zero when no registry is attached) -------------
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::Histogram* cycle_active_hist_ = nullptr;
+  void trace_begin(telemetry::Phase p) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->begin(scheduler_.now(), node_id_, p);
+    }
+  }
+  void trace_end(telemetry::Phase p) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->end(scheduler_.now(), node_id_, p);
+    }
+  }
+  void trace_instant(telemetry::Phase p) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant(scheduler_.now(), node_id_, p);
+    }
+  }
+
   Phase phase_ = Phase::DeepSleep;
   std::uint32_t sequence_ = 0;
   std::uint16_t seq_ctl_ = 0;
   std::uint64_t cycles_ = 0;
+  // Lifetime totals surfaced through the metrics registry.
+  std::uint64_t beacons_sent_total_ = 0;
+  std::uint64_t parity_beacons_total_ = 0;
+  std::uint64_t downlinks_total_ = 0;
+  std::uint64_t cycles_failed_total_ = 0;
+  Duration tx_airtime_total_{};
 
   // current cycle bookkeeping
   SendCallback cycle_done_;

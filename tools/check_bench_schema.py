@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Schema check for the repo's bench JSON artifacts.
+
+Validates two document shapes (CI fails on drift so downstream
+dashboards and the cross-version determinism oracle never ingest a
+silently reshaped file):
+
+  * wile-telemetry-v1 (src/telemetry/export.hpp) — whole-sim telemetry
+    snapshots exported by ScenarioBuilder scenarios;
+  * the scale_fleet runs table (BENCH_scale_fleet*.json).
+
+Usage: check_bench_schema.py FILE [FILE...]
+Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
+"""
+import json
+import sys
+
+TELEMETRY_SCHEMA = "wile-telemetry-v1"
+TELEMETRY_REQUIRED = ["schema", "bench", "sim_time_us", "meta", "aggregates",
+                      "histograms", "nodes", "samples", "trace"]
+# Aggregates every scenario must export (the builder binds these before
+# any per-node metric).
+TELEMETRY_REQUIRED_AGGREGATES = [
+    "scheduler.events_run",
+    "medium.transmissions",
+    "medium.deliveries",
+    "fleet.messages",
+]
+# Per-node series the acceptance criteria pin: TX, RX and energy.
+NODE_SENDER_REQUIRED = ["sender.tx.beacons", "sender.tx.airtime_us",
+                        "sender.cycles", "sender.energy_j"]
+NODE_RECEIVER_REQUIRED = ["receiver.messages", "receiver.beacons_seen"]
+HISTOGRAM_REQUIRED = ["count", "sum", "min", "max", "mean", "buckets"]
+
+FLEET_RUN_REQUIRED = ["n", "sim_seconds", "wall_seconds", "sim_wall_ratio",
+                      "events", "events_per_sec", "transmissions", "deliveries",
+                      "collision_losses", "messages", "rss_peak_mb",
+                      "rss_delta_mb"]
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def check_telemetry(doc, errors):
+    for key in TELEMETRY_REQUIRED:
+        if key not in doc:
+            fail(errors, f"missing top-level key {key!r}")
+    if doc.get("schema") != TELEMETRY_SCHEMA:
+        fail(errors, f"schema is {doc.get('schema')!r}, want {TELEMETRY_SCHEMA!r}")
+    if errors:
+        return
+
+    aggregates = doc["aggregates"]
+    if not isinstance(aggregates, dict):
+        return fail(errors, "aggregates is not an object")
+    for name in TELEMETRY_REQUIRED_AGGREGATES:
+        if name not in aggregates:
+            fail(errors, f"missing aggregate {name!r}")
+
+    for full, hist in doc["histograms"].items():
+        for key in HISTOGRAM_REQUIRED:
+            if key not in hist:
+                fail(errors, f"histogram {full!r} missing {key!r}")
+
+    nodes = doc["nodes"]
+    if not isinstance(nodes, list):
+        return fail(errors, "nodes is not a list")
+    for entry in nodes:
+        if "node" not in entry or "metrics" not in entry:
+            fail(errors, f"node entry missing node/metrics: {entry}")
+            continue
+        metrics = entry["metrics"]
+        # Classify by the component prefixes present; each component that
+        # appears must carry its full required set.
+        if any(k.startswith("sender.") for k in metrics):
+            for k in NODE_SENDER_REQUIRED:
+                if k not in metrics:
+                    fail(errors, f"node {entry['node']} missing {k!r}")
+        if any(k.startswith("receiver.") for k in metrics):
+            for k in NODE_RECEIVER_REQUIRED:
+                if k not in metrics:
+                    fail(errors, f"node {entry['node']} missing {k!r}")
+
+    trace = doc["trace"]
+    for key in ("recorded", "dropped"):
+        if key not in trace:
+            fail(errors, f"trace missing {key!r}")
+
+
+def check_fleet_runs(doc, errors):
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(errors, "runs missing or empty")
+    for i, run in enumerate(runs):
+        for key in FLEET_RUN_REQUIRED:
+            if key not in run:
+                fail(errors, f"runs[{i}] missing {key!r}")
+        if run.get("transmissions", 0) <= 0 or run.get("messages", 0) <= 0:
+            fail(errors, f"runs[{i}] has no traffic — broken run?")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable or invalid JSON: {e}"]
+
+    if doc.get("schema") == TELEMETRY_SCHEMA:
+        check_telemetry(doc, errors)
+    elif doc.get("bench") == "scale_fleet" and "runs" in doc:
+        check_fleet_runs(doc, errors)
+    else:
+        errors.append("unrecognized document: neither wile-telemetry-v1 "
+                      "nor a scale_fleet runs table")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bad = 0
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            bad += 1
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
