@@ -1,0 +1,137 @@
+#include "power/harvester.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wile::power {
+
+Watts rf_harvest_power(const phy::Channel& channel, double source_tx_dbm,
+                       double distance_m, double efficiency) {
+  const double rx_dbm = channel.rx_power_dbm(source_tx_dbm, distance_m);
+  const double rx_watts = std::pow(10.0, (rx_dbm - 30.0) / 10.0);
+  return Watts{rx_watts * std::clamp(efficiency, 0.0, 1.0)};
+}
+
+// ---------------------------------------------------------------------------
+// Harvester.
+// ---------------------------------------------------------------------------
+
+Harvester::Harvester(HarvesterConfig config) : config_(config) {
+  if (config_.capacitance_f <= 0.0) {
+    throw std::invalid_argument("Harvester: capacitance must be positive");
+  }
+  capacity_ = config_.capacity();
+  charge_ = Joules{capacity_.value *
+                   std::clamp(config_.initial_charge_fraction, 0.0, 1.0)};
+}
+
+Watts Harvester::net_input() const {
+  return Watts{config_.harvest_power.value * fade_scale_ - config_.leakage.value};
+}
+
+void Harvester::advance(Duration dt, Joules consumed) {
+  if (dt.count() < 0) throw std::invalid_argument("Harvester: negative advance");
+  const double in = net_input().value * to_seconds(dt);
+  charge_ = Joules{std::clamp(charge_.value + in - consumed.value, 0.0, capacity_.value)};
+}
+
+void Harvester::push_fade(double scale) {
+  if (scale < 0.0) throw std::invalid_argument("Harvester: negative fade scale");
+  fades_.push_back(scale);
+  fade_scale_ = 1.0;
+  for (double s : fades_) fade_scale_ *= s;
+}
+
+void Harvester::pop_fade(double scale) {
+  const auto it = std::find(fades_.begin(), fades_.end(), scale);
+  if (it == fades_.end()) return;  // unmatched pop: a no-op, not a throw
+  fades_.erase(it);
+  // Recompute from the survivors so unwinding restores the exact
+  // pre-fault product (dividing would leave a rounding residue).
+  fade_scale_ = 1.0;
+  for (double s : fades_) fade_scale_ *= s;
+}
+
+Duration Harvester::time_to_reach(Joules target) const {
+  const double deficit = std::min(target.value, capacity_.value) - charge_.value;
+  if (deficit <= 0.0) return Duration{0};
+  const double rate = net_input().value;
+  if (rate <= 0.0) return Duration::max();
+  const double secs = deficit / rate;
+  constexpr double kMaxSecs = 9.0e12;  // keep the us conversion in-range
+  if (secs >= kMaxSecs) return Duration::max();
+  return Duration{static_cast<std::int64_t>(std::ceil(secs * 1e6))};
+}
+
+// ---------------------------------------------------------------------------
+// EnergyGovernor.
+// ---------------------------------------------------------------------------
+
+EnergyGovernor::EnergyGovernor(sim::Scheduler& scheduler, const PowerTimeline& timeline,
+                               HarvesterConfig config)
+    : scheduler_(scheduler),
+      timeline_(timeline),
+      harvester_(config),
+      settled_at_(scheduler.now()) {}
+
+void EnergyGovernor::settle() {
+  const TimePoint now = scheduler_.now();
+  if (now <= settled_at_) return;
+  const Joules consumed = timeline_.energy_between(settled_at_, now);
+  harvester_.advance(now - settled_at_, consumed);
+  settled_at_ = now;
+  ++stats_.settles;
+}
+
+Joules EnergyGovernor::charge() {
+  settle();
+  return harvester_.charge();
+}
+
+Joules EnergyGovernor::projected_charge(TimePoint at) const {
+  if (at <= settled_at_) return harvester_.charge();
+  const Joules consumed = timeline_.energy_between(settled_at_, at);
+  const double in = harvester_.net_input().value * to_seconds(at - settled_at_);
+  return Joules{std::clamp(harvester_.charge().value + in - consumed.value, 0.0,
+                           harvester_.capacity().value)};
+}
+
+Duration EnergyGovernor::time_until(Joules target) {
+  settle();
+  // The load draws its current phase's power alongside the harvest; a
+  // recharging device is browned out, so the only competing draw is the
+  // harvester's own leakage, already inside net_input().
+  return harvester_.time_to_reach(target);
+}
+
+bool EnergyGovernor::check_brown_out() {
+  settle();
+  if (!harvester_.empty()) return false;
+  ++stats_.brown_outs;
+  if (on_brown_out_) on_brown_out_();
+  return true;
+}
+
+void EnergyGovernor::fault_brown_out() {
+  settle();
+  harvester_.drain_all();
+  ++stats_.brown_outs;
+  if (on_brown_out_) on_brown_out_();
+}
+
+void EnergyGovernor::fault_harvest_push(double scale) {
+  settle();  // integrate the pre-fault rate up to the fault edge
+  harvester_.push_fade(scale);
+  ++stats_.fades_applied;
+  if (on_harvest_changed_) on_harvest_changed_();
+}
+
+void EnergyGovernor::fault_harvest_pop(double scale) {
+  settle();
+  harvester_.pop_fade(scale);
+  if (on_harvest_changed_) on_harvest_changed_();
+}
+
+}  // namespace wile::power

@@ -153,6 +153,58 @@ void FaultInjector::radio_deaf(TimePoint start, Duration duration, NodeId node) 
          [this, node] { medium_.set_rx_blocked(node, false); });
 }
 
+void FaultInjector::attach_energy_target(EnergyFaultTarget* target) {
+  if (target == nullptr) throw std::invalid_argument("FaultInjector: null energy target");
+  energy_targets_.push_back(target);
+}
+
+void FaultInjector::brown_out(TimePoint when, EnergyFaultTarget& target) {
+  at(when, [this, &target] {
+    ++stats_.brown_outs_injected;
+    target.fault_brown_out();
+  });
+}
+
+void FaultInjector::brown_out_all(TimePoint when) {
+  // Targets are iterated at fire time, in registration order, so devices
+  // attached after scheduling are still hit.
+  at(when, [this] {
+    for (EnergyFaultTarget* t : energy_targets_) {
+      ++stats_.brown_outs_injected;
+      t->fault_brown_out();
+    }
+  });
+}
+
+void FaultInjector::harvest_fade(TimePoint start, Duration duration, double scale) {
+  if (scale < 0.0) throw std::invalid_argument("FaultInjector: negative fade scale");
+  window(
+      start, duration,
+      [this, scale] {
+        ++stats_.harvest_fades;
+        for (EnergyFaultTarget* t : energy_targets_) t->fault_harvest_push(scale);
+      },
+      [this, scale] {
+        for (EnergyFaultTarget* t : energy_targets_) t->fault_harvest_pop(scale);
+      });
+}
+
+void FaultInjector::harvest_fade(TimePoint start, Duration duration, double scale,
+                                 EnergyFaultTarget& target) {
+  if (scale < 0.0) throw std::invalid_argument("FaultInjector: negative fade scale");
+  window(
+      start, duration,
+      [this, scale, &target] {
+        ++stats_.harvest_fades;
+        target.fault_harvest_push(scale);
+      },
+      [scale, &target] { target.fault_harvest_pop(scale); });
+}
+
+void FaultInjector::rf_drought(TimePoint start, Duration duration) {
+  harvest_fade(start, duration, 0.0);
+}
+
 void FaultInjector::publish_metrics(telemetry::MetricsRegistry& registry,
                                     const std::string& prefix) const {
   registry.bind_counter(prefix + ".windows_scheduled", &stats_.windows_scheduled);
@@ -161,6 +213,8 @@ void FaultInjector::publish_metrics(telemetry::MetricsRegistry& registry,
   registry.bind_counter(prefix + ".windows_active", &stats_.fault_windows_active);
   registry.bind_counter(prefix + ".events_fired", &stats_.events_fired);
   registry.bind_counter(prefix + ".jammer_bursts", &stats_.jammer_bursts);
+  registry.bind_counter(prefix + ".brown_outs_injected", &stats_.brown_outs_injected);
+  registry.bind_counter(prefix + ".harvest_fades", &stats_.harvest_fades);
 }
 
 }  // namespace wile::sim

@@ -10,6 +10,9 @@
 //   * channel impairments — noise-floor rise, blanket PER multiplier,
 //     and a jammer node with a configurable duty cycle;
 //   * node faults — radio deafness (RX blackout) for any attached node;
+//   * energy starvation — scheduled brown-outs, harvest-rate fades and
+//     fleet-wide RF droughts against any attached EnergyFaultTarget
+//     (the Sender's power::EnergyGovernor registers itself here);
 //   * arbitrary component faults via the generic window()/at()
 //     primitives, e.g. AP crash-and-reboot or a gateway uplink kill:
 //
@@ -57,6 +60,24 @@ struct FaultStats {
   std::uint64_t fault_windows_active = 0;
   std::uint64_t events_fired = 0;  // one-shot at() faults
   std::uint64_t jammer_bursts = 0;
+  /// Energy faults: scheduled brown-outs delivered, fade windows opened.
+  std::uint64_t brown_outs_injected = 0;
+  std::uint64_t harvest_fades = 0;
+};
+
+/// Implemented by intermittent power supplies (power::EnergyGovernor).
+/// Declared here — not in power/ — because wile_power links wile_sim,
+/// not the reverse; the injector drives energy faults through this
+/// interface without seeing the capacitor model.
+class EnergyFaultTarget {
+ public:
+  virtual ~EnergyFaultTarget() = default;
+  /// Drain the store instantly; the device browns out now.
+  virtual void fault_brown_out() = 0;
+  /// Scale the harvest rate by `scale` (stacking multiplicatively with
+  /// other active fades) until the matching pop.
+  virtual void fault_harvest_push(double scale) = 0;
+  virtual void fault_harvest_pop(double scale) = 0;
 };
 
 class FaultInjector {
@@ -104,6 +125,35 @@ class FaultInjector {
   /// the node's transmit path still works).
   void radio_deaf(TimePoint start, Duration duration, NodeId node);
 
+  // --- energy starvation faults ----------------------------------------------
+
+  /// Register an intermittent power supply with the injector. Fleet-wide
+  /// energy faults (harvest_fade/rf_drought with no explicit target) hit
+  /// every registered target, in registration order. The target must
+  /// outlive the injector or the scheduled fault times.
+  void attach_energy_target(EnergyFaultTarget* target);
+  [[nodiscard]] std::size_t energy_targets() const { return energy_targets_.size(); }
+
+  /// Scheduled brown-out: drain one device's store at `when` (a shorting
+  /// capacitor, a load transient the harvester can't ride through).
+  void brown_out(TimePoint when, EnergyFaultTarget& target);
+  /// Correlated fleet-wide brown-out at `when` (mains-coupled harvesters
+  /// losing their source simultaneously).
+  void brown_out_all(TimePoint when);
+
+  /// Scale every registered harvester's input by `scale` for the window
+  /// (a person standing in the RF path, a seasonal duty-cycle change).
+  /// Overlapping fades stack multiplicatively and unwind exactly.
+  void harvest_fade(TimePoint start, Duration duration, double scale);
+  /// Same, one device only.
+  void harvest_fade(TimePoint start, Duration duration, double scale,
+                    EnergyFaultTarget& target);
+
+  /// Fleet-wide RF drought: the harvest source goes dark for the window
+  /// (an AP reboot kills every rectenna feeding off it). Equivalent to
+  /// harvest_fade(start, duration, 0.0).
+  void rf_drought(TimePoint start, Duration duration);
+
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] bool any_active() const { return stats_.fault_windows_active > 0; }
 
@@ -121,6 +171,7 @@ class FaultInjector {
   FaultStats stats_;
   std::vector<EventId> pending_;  // cancelled on destruction
   std::vector<std::unique_ptr<Jammer>> jammers_;
+  std::vector<EnergyFaultTarget*> energy_targets_;
 };
 
 }  // namespace wile::sim

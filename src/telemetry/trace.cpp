@@ -13,6 +13,8 @@ std::string_view phase_name(Phase p) {
     case Phase::RxWindow: return "rx_window";
     case Phase::Sleep: return "sleep";
     case Phase::Fault: return "fault";
+    case Phase::BrownOut: return "brown_out";
+    case Phase::Recharge: return "recharge";
     case Phase::Other: break;
   }
   return "other";

@@ -35,6 +35,8 @@ enum class Phase : std::uint8_t {
   RxWindow,  // two-way listen window
   Sleep,     // shutdown + deep sleep entry
   Fault,     // fault-injection window
+  BrownOut,  // harvester ran dry; cycle checkpointed and suspended
+  Recharge,  // capacitor back above the resume threshold
   Other,
 };
 

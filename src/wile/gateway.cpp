@@ -93,6 +93,10 @@ void Gateway::on_uplink_lost() {
   if (!uplink_ready_) return;  // already supervising a reconnect
   uplink_ready_ = false;
   ++stats_.uplink_losses;
+  // A loss is usually correlated across the fleet (the AP died, not this
+  // box); arm the one-shot desync so the first reassociation wave is
+  // spread instead of synchronized.
+  desync_pending_ = true;
   // An in-flight send (if any) reports its failed CycleReport right after
   // this handler; its reading is requeued there. Here we only arrange the
   // re-association.
@@ -112,8 +116,18 @@ Duration Gateway::backoff_delay() {
   }
   const double spread =
       1.0 + config_.reconnect_jitter_fraction * (2.0 * rng_.uniform() - 1.0);
-  const Duration jittered{
+  Duration jittered{
       static_cast<std::int64_t>(static_cast<double>(delay.count()) * spread)};
+  if (desync_pending_) {
+    // Deterministic (seeded) fleet desynchronisation: uniform extra
+    // delay on the first attempt after a loss, drawn from this
+    // gateway's own RNG so same-seed runs reproduce it exactly.
+    desync_pending_ = false;
+    if (config_.reconnect_desync_spread.count() > 0) {
+      jittered += Duration{static_cast<std::int64_t>(
+          rng_.uniform() * static_cast<double>(config_.reconnect_desync_spread.count()))};
+    }
+  }
   return std::max(jittered, msec(1));
 }
 

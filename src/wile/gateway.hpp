@@ -61,6 +61,13 @@ struct GatewayConfig {
   Duration reconnect_backoff_base = msec(500);
   Duration reconnect_backoff_cap = seconds(8);
   double reconnect_jitter_fraction = 0.2;
+  /// Thundering-herd desync: an extra one-shot delay drawn uniformly
+  /// (seeded, per gateway) from [0, this] on the FIRST reconnect after
+  /// an uplink loss. The multiplicative jitter above only spreads a
+  /// fleet ±20% around the backoff base, so a fleet-wide AP restart
+  /// still lands every reassociation in the same ~200 ms; this spreads
+  /// the first wave across the whole window. 0 disables.
+  Duration reconnect_desync_spread = seconds(1);
 };
 
 struct GatewayStats {
@@ -105,6 +112,11 @@ class Gateway {
   /// accessors keep reading the same slots.
   void publish_metrics(telemetry::MetricsRegistry& registry,
                        const std::string& prefix) const;
+
+  /// Next reconnect delay (capped exponential backoff x jitter, plus
+  /// the one-shot desync spread after a loss). Public so tests can pin
+  /// the distribution; consumes this gateway's jitter RNG.
+  [[nodiscard]] Duration backoff_delay();
   [[nodiscard]] const Receiver& monitor() const { return *monitor_; }
   [[nodiscard]] const sta::Station& station() const { return *station_; }
 
@@ -120,7 +132,6 @@ class Gateway {
   void on_uplink_lost();
   void attempt_connect();
   void schedule_reconnect();
-  [[nodiscard]] Duration backoff_delay();
 
   sim::Scheduler& scheduler_;
   GatewayConfig config_;
@@ -132,6 +143,7 @@ class Gateway {
   bool sending_ = false;
   bool started_ = false;
   bool first_attempt_done_ = false;
+  bool desync_pending_ = false;  // next backoff adds the desync spread
   int consecutive_connect_failures_ = 0;
   std::optional<sim::EventId> reconnect_timer_;
   std::optional<sim::EventId> pump_timer_;

@@ -61,6 +61,7 @@ Scenario::Scenario(const ScenarioBuilder& b)
     cfg.period = b.period_;
     cfg.wake_jitter = b.wake_jitter_;
     cfg.timeline_max_segments = b.timeline_max_segments_;
+    if (b.harvesting_) cfg.harvesting = b.harvesting_;
     if (b.configure_sender_) b.configure_sender_(cfg, i);
 
     const Position pos = b.place_device_
@@ -124,6 +125,12 @@ Scenario::Scenario(const ScenarioBuilder& b)
         });
   }
 
+  // --- fault schedule --------------------------------------------------------
+  // Runs after every device exists (so the injector already holds the
+  // fleet's energy targets) and before telemetry, matching the hand
+  // wiring order the bit-identity tests pin.
+  if (b.configure_faults_) b.configure_faults_(faults());
+
   // --- telemetry bindings ----------------------------------------------------
   // Everything above ran without touching the registry, so a disabled
   // scenario is byte-identical to a pre-telemetry build: zero registry
@@ -168,6 +175,14 @@ FaultInjector& Scenario::faults() {
   if (!faults_) {
     faults_ = std::make_unique<FaultInjector>(scheduler_, medium_, Rng{fault_seed_});
     if (telemetry_enabled_) faults_->publish_metrics(registry_);
+    // Every harvesting device is an energy-fault target, in device
+    // order, so fleet-wide brown-outs / droughts hit the whole fleet
+    // without per-scenario wiring.
+    for (auto& s : senders_) {
+      if (auto* governor = s->energy_governor()) {
+        faults_->attach_energy_target(governor);
+      }
+    }
   }
   return *faults_;
 }

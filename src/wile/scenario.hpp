@@ -157,6 +157,23 @@ class ScenarioBuilder {
     configure_sender_ = std::move(fn);
     return *this;
   }
+  /// Intermittent power for the whole fleet: every device runs off this
+  /// harvested-capacitor config (configure_sender can still override or
+  /// clear it per device — it runs after this default is applied).
+  /// Scenario::faults() auto-registers every harvesting device's
+  /// EnergyGovernor as an energy-fault target, in device order.
+  ScenarioBuilder& harvesting(core::HarvestingConfig cfg) {
+    harvesting_ = cfg;
+    return *this;
+  }
+  /// Fault schedule hook: runs once against the scenario's lazily-built
+  /// FaultInjector at build time, after every device is constructed and
+  /// its energy target registered. Keeps fault wiring inside the
+  /// builder so a scripted scenario is one self-contained expression.
+  ScenarioBuilder& configure_faults(std::function<void(FaultInjector&)> fn) {
+    configure_faults_ = std::move(fn);
+    return *this;
+  }
   /// Hook to adjust each gateway's ReceiverConfig.
   ScenarioBuilder& configure_gateway(
       std::function<void(core::ReceiverConfig&, int)> fn) {
@@ -243,6 +260,8 @@ class ScenarioBuilder {
   std::optional<double> loss_floor_;
   std::function<core::Sender::PayloadProvider(int)> make_provider_;
   std::function<void(core::SenderConfig&, int)> configure_sender_;
+  std::optional<core::HarvestingConfig> harvesting_;
+  std::function<void(FaultInjector&)> configure_faults_;
   std::function<void(core::ReceiverConfig&, int)> configure_gateway_;
   std::function<Position(int)> place_device_;
   std::function<Position(int)> place_gateway_;

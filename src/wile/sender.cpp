@@ -13,6 +13,7 @@ constexpr const char* kPhaseSleep = "Sleep";
 constexpr const char* kPhaseInit = "MC/WiFi init";
 constexpr const char* kPhaseTx = "Tx";
 constexpr const char* kPhaseRxWindow = "RxWindow";
+constexpr const char* kPhaseBrownOut = "BrownOut";
 }  // namespace
 
 Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
@@ -38,6 +39,17 @@ Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position pos
     tracker_.on_tx_start(airtime);
     trace_end(telemetry::Phase::Csma);  // deferral over, frame on the air
   });
+
+  if (config_.harvesting) {
+    governor_ = std::make_unique<power::EnergyGovernor>(scheduler_, timeline_,
+                                                        config_.harvesting->harvester);
+    governor_->set_brown_out_handler([this] { on_brown_out(); });
+    governor_->set_harvest_changed_handler([this] {
+      // A lifted fade turns "never" into a finite recharge time, and a
+      // fresh fade invalidates a scheduled one — re-derive the resume.
+      if (recovering_) schedule_resume();
+    });
+  }
 
   // Precompute the constant beacon-body prefix: timestamp placeholder is
   // patched per send; SSID (hidden unless spoofed), rates and channel
@@ -92,6 +104,17 @@ void Sender::schedule_next_cycle() {
     // armed before sleeping, so the period is wake-to-wake).
     schedule_next_cycle();
     if (phase_ != Phase::DeepSleep) return;  // previous cycle still busy
+    if (recovering_) return;  // browned out: the resume path owns the restart
+    if (governor_) {
+      // Wake gate: a cycle the capacitor cannot fund would brown out
+      // mid-flight; cheaper to stay asleep and let the charge build.
+      const Joules need{config_.harvesting->wake_margin *
+                        estimated_cycle_cost().value};
+      if (!governor_->can_afford(need)) {
+        ++cycles_skipped_energy_;
+        return;
+      }
+    }
     // Reliable mode: don't consume fresh sensor data while a
     // retransmission is pending.
     if (!will_retransmit()) trace_instant(telemetry::Phase::Sample);
@@ -196,6 +219,7 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   cycle_failed_ = false;
   cycle_acked_ = false;
   cycle_retransmission_ = false;
+  cycle_resumed_ = false;
   cycle_parity_beacons_ = 0;
   cycle_parity_airtime_ = Duration{0};
 
@@ -210,8 +234,26 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
     fallback_active_ = true;
     tier_ = std::min(config_.adaptation->fallback_tier, config_.adaptation->tiers.size() - 1);
   }
+  // Stale-report watchdog: a silent controller walks the tier back
+  // toward the open-loop fallback one step at a time instead of
+  // freezing the sender at the last commanded redundancy level.
+  if (config_.adaptation && config_.adaptation->decay_after_cycles > 0 &&
+      !config_.adaptation->tiers.empty()) {
+    const AdaptationConfig& a = *config_.adaptation;
+    const std::size_t target = std::min(a.fallback_tier, a.tiers.size() - 1);
+    const auto threshold = static_cast<std::uint64_t>(a.decay_after_cycles);
+    const auto every = static_cast<std::uint64_t>(std::max(a.decay_every, 1));
+    if (tier_ != target && cycles_since_report_ >= threshold &&
+        (cycles_since_report_ - threshold) % every == 0) {
+      if (tier_ < target) {
+        ++tier_;
+      } else {
+        --tier_;
+      }
+      ++tier_decays_;
+    }
+  }
   ++cycles_since_report_;
-  const RedundancyTier tier = active_tier();
 
   Message message;
   bool fresh = false;
@@ -246,7 +288,19 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
     }
     ++msgs_since_recovery_;
   }
+  cycle_sequence_ = message.sequence;
 
+  // Intermittent power: checkpoint the cycle into the persistent region
+  // before any risky phase. The sequence is already assigned and the FEC
+  // accumulator already booked the sample, so a post-brown-out resume
+  // replays the identical train instead of minting a duplicate.
+  if (governor_) checkpoint_ = Checkpoint{message, scheduler_.now()};
+
+  encode_and_transmit(message, fresh && fec_usable);
+}
+
+void Sender::encode_and_transmit(const Message& message, bool include_recovery) {
+  const RedundancyTier tier = active_tier();
   std::vector<CycleMpdu> mpdus;
   trace_instant(telemetry::Phase::Encode);
   try {
@@ -275,7 +329,7 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
       mpdus.insert(mpdus.end(), once.begin(), once.end());
     }
     // Cross-cycle FEC: one (unrepeated) recovery beacon when due.
-    if (fresh && fec_usable) {
+    if (include_recovery) {
       if (auto recovery = maybe_recovery_message(tier)) {
         for (const auto& ie : codec_.encode(*recovery)) {
           mpdus.push_back({build_beacon_mpdu(ie), true});
@@ -291,8 +345,11 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
   tracker_.set_phase(config_.power.cpu_active, kPhaseInit);
   const Duration init =
       config_.power.boot_from_deep_sleep + config_.power.wifi_inject_init;
-  scheduler_.schedule_in(init, [this, mpdus = std::move(mpdus)]() mutable {
+  const std::uint64_t epoch = cycle_epoch_;
+  scheduler_.schedule_in(init, [this, epoch, mpdus = std::move(mpdus)]() mutable {
+    if (epoch != cycle_epoch_) return;  // browned out during init
     trace_end(telemetry::Phase::Wake);
+    if (maybe_brown_out()) return;  // the init phase outran the charge
     if (cycle_failed_ || mpdus.empty()) {
       finish_cycle();
       return;
@@ -305,6 +362,9 @@ void Sender::begin_cycle(Bytes data, SendCallback done) {
 }
 
 void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
+  // Organic brown-out check at every fragment boundary: a capacitor
+  // that ran dry during the previous fragment kills the train here.
+  if (maybe_brown_out()) return;
   if (index >= mpdus.size()) {
     trace_end(telemetry::Phase::Tx);
     after_last_beacon();
@@ -322,10 +382,13 @@ void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
     ++parity_beacons_total_;
   }
 
+  const std::uint64_t epoch = cycle_epoch_;
   if (config_.use_csma) {
     trace_begin(telemetry::Phase::Csma);
     csma_->send(mpdu, config_.rate, /*expect_ack=*/false,
-                [this, mpdus = std::move(mpdus), index](const sim::Csma::Result&) mutable {
+                [this, epoch, mpdus = std::move(mpdus),
+                 index](const sim::Csma::Result&) mutable {
+                  if (epoch != cycle_epoch_) return;  // browned out mid-train
                   inject_fragments(std::move(mpdus), index + 1);
                 });
   } else {
@@ -335,7 +398,8 @@ void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
     req.airtime = airtime;
     req.tx_power_dbm = config_.tx_power_dbm;
     req.rate = config_.rate;
-    req.on_complete = [this, mpdus = std::move(mpdus), index]() mutable {
+    req.on_complete = [this, epoch, mpdus = std::move(mpdus), index]() mutable {
+      if (epoch != cycle_epoch_) return;  // browned out mid-train
       inject_fragments(std::move(mpdus), index + 1);
     };
     tracker_.on_tx_start(airtime);
@@ -344,6 +408,10 @@ void Sender::inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index) {
 }
 
 void Sender::after_last_beacon() {
+  // The train is on the air: the sample has been transmitted, so the
+  // checkpoint has nothing left to protect. A brown-out from here on
+  // costs only the RX window / report, never the reading.
+  checkpoint_.reset();
   if (!config_.rx_window) {
     finish_cycle();
     return;
@@ -353,11 +421,15 @@ void Sender::after_last_beacon() {
   // the energy cost E8 measures against always-on listening.
   phase_ = Phase::Tx;  // offset gap: radio on but not yet listening
   tracker_.set_phase(config_.power.cpu_active, kPhaseRxWindow);
-  scheduler_.schedule_in(config_.rx_window->offset, [this] {
+  const std::uint64_t epoch = cycle_epoch_;
+  scheduler_.schedule_in(config_.rx_window->offset, [this, epoch] {
+    if (epoch != cycle_epoch_) return;
+    if (maybe_brown_out()) return;
     phase_ = Phase::RxWindow;
     tracker_.set_phase(config_.power.radio_rx, kPhaseRxWindow);
     trace_begin(telemetry::Phase::RxWindow);
-    scheduler_.schedule_in(config_.rx_window->duration, [this] {
+    scheduler_.schedule_in(config_.rx_window->duration, [this, epoch] {
+      if (epoch != cycle_epoch_) return;
       trace_end(telemetry::Phase::RxWindow);
       finish_cycle();
     });
@@ -365,15 +437,22 @@ void Sender::after_last_beacon() {
 }
 
 void Sender::finish_cycle() {
+  checkpoint_.reset();  // cycle completed (or failed terminally)
   phase_ = Phase::Shutdown;
   tracker_.set_phase(config_.power.cpu_active, kPhaseInit);
-  scheduler_.schedule_in(config_.power.shutdown_time, [this] {
+  const std::uint64_t epoch = cycle_epoch_;
+  scheduler_.schedule_in(config_.power.shutdown_time, [this, epoch] {
+    if (epoch != cycle_epoch_) return;  // browned out during shutdown
     phase_ = Phase::DeepSleep;
     tracker_.set_phase(config_.power.deep_sleep, kPhaseSleep);
+    // A capacitor that ran dry during shutdown browns out here; the
+    // cycle's work is done, so only the recharge wait is at stake.
+    maybe_brown_out();
 
     SendReport report;
     report.success = !cycle_failed_ && cycle_beacons_ > 0;
-    report.sequence = sequence_ - 1;
+    report.sequence = cycle_sequence_;
+    report.resumed = cycle_resumed_;
     report.beacons_sent = cycle_beacons_;
     report.tx_airtime = cycle_airtime_;
     const Duration tx_time =
@@ -402,6 +481,130 @@ void Sender::finish_cycle() {
       cb(report);
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Intermittent power: gating, checkpointing, brown-out recovery.
+// ---------------------------------------------------------------------------
+
+Joules Sender::estimated_cycle_cost() const {
+  const auto& p = config_.power;
+  const RedundancyTier tier = active_tier();
+  // Nominal cost of one cycle at the active tier: init + a
+  // single-fragment train (typical beacon size) + RX window + shutdown.
+  // The HarvestingConfig margins absorb what this cannot see (CSMA
+  // deferral, fragmentation, recovery beacons).
+  constexpr std::size_t kNominalMpduBytes = 128;
+  const Duration airtime =
+      phy::frame_airtime(kNominalMpduBytes, config_.rate, config_.band);
+  const int beacons =
+      std::max(tier.repeats, 1) + ((tier.fec_parity || tier.recovery_k > 0) ? 1 : 0);
+  const Watts cpu = p.supply * p.cpu_active;
+  Joules cost = cpu * (p.boot_from_deep_sleep + p.wifi_inject_init + p.shutdown_time);
+  cost += tx_power_draw() * Duration{(airtime.count() + p.tx_ramp.count()) * beacons};
+  if (config_.rx_window) {
+    cost += cpu * config_.rx_window->offset;
+    cost += (p.supply * p.radio_rx) * config_.rx_window->duration;
+  }
+  return cost;
+}
+
+bool Sender::maybe_brown_out() { return governor_ && governor_->check_brown_out(); }
+
+void Sender::on_brown_out() {
+  ++brown_outs_total_;
+  trace_instant(telemetry::Phase::BrownOut);
+  if (phase_ != Phase::DeepSleep) {
+    // Kill the in-flight cycle: strand its scheduled continuations via
+    // the epoch, flush the CSMA queue, power down. The checkpoint
+    // written in begin_cycle survives in the persistent region.
+    ++cycle_epoch_;
+    csma_->drop_queued();
+    phase_ = Phase::DeepSleep;
+  }
+  recovering_ = true;
+  brown_out_at_ = scheduler_.now();
+  tracker_.set_phase(Amps{0.0}, kPhaseBrownOut);  // dark: not even sleep current
+  schedule_resume();
+}
+
+Joules Sender::resume_target() const {
+  // Clamped to capacity: a small capacitor must still be able to resume
+  // even when the margin asks for more than it can ever hold.
+  const double want = config_.harvesting->resume_margin * estimated_cycle_cost().value;
+  return Joules{std::min(want, governor_->harvester().capacity().value)};
+}
+
+void Sender::schedule_resume() {
+  if (resume_event_) {
+    scheduler_.cancel(*resume_event_);
+    resume_event_.reset();
+  }
+  if (!recovering_) return;
+  const Duration wait = governor_->time_until(resume_target());
+  // During a drought the harvest can never reach the target; the
+  // harvest-changed handler re-derives this when the fade lifts.
+  if (wait == Duration::max()) return;
+  resume_event_ = scheduler_.schedule_in(std::max<Duration>(wait, usec(1)), [this] {
+    resume_event_.reset();
+    resume_cycle();
+  });
+}
+
+void Sender::resume_cycle() {
+  // A fade may have raced the recharge timer; re-derive if still short.
+  if (governor_->charge() < resume_target()) {
+    schedule_resume();
+    return;
+  }
+  recovering_ = false;
+  tracker_.set_phase(config_.power.deep_sleep, kPhaseSleep);
+  trace_instant(telemetry::Phase::Recharge);
+  if (recharge_hist_ != nullptr) {
+    recharge_hist_->record(
+        static_cast<std::uint64_t>((scheduler_.now() - brown_out_at_).count()));
+  }
+  if (!checkpoint_) return;  // browned out while asleep: nothing to replay
+
+  Checkpoint cp = std::move(*checkpoint_);
+  checkpoint_.reset();
+  const Duration age = scheduler_.now() - cp.sampled_at;
+  const Duration bound = config_.harvesting->max_checkpoint_age;
+  if (bound.count() > 0 && age > bound) {
+    // Bounded staleness: the reading no longer describes the world.
+    // Drop it (the sequence stays consumed — receivers see a gap, which
+    // is the honest signal) instead of retransmitting it forever.
+    ++cycles_aborted_stale_;
+    if (cycle_done_) {
+      SendReport report;
+      report.sequence = cp.message.sequence;
+      auto cb = std::move(cycle_done_);
+      cycle_done_ = {};
+      cb(report);
+    }
+    return;
+  }
+
+  // Resume the interrupted cycle from the persistent region: identical
+  // message, identical already-assigned sequence — receivers dedupe any
+  // fragments that made it out before the lights went off. The FEC
+  // accumulator already booked this sample, so no new recovery beacon.
+  ++cycles_resumed_;
+  wake_time_ = scheduler_.now();
+  trace_begin(telemetry::Phase::Cycle);
+  trace_begin(telemetry::Phase::Wake);
+  cycle_airtime_ = Duration{0};
+  cycle_beacons_ = 0;
+  cycle_downlinks_ = 0;
+  cycle_failed_ = false;
+  cycle_acked_ = false;
+  cycle_retransmission_ = false;
+  cycle_resumed_ = true;
+  cycle_parity_beacons_ = 0;
+  cycle_parity_airtime_ = Duration{0};
+  cycle_sequence_ = cp.message.sequence;
+  checkpoint_ = Checkpoint{cp.message, cp.sampled_at};  // survive repeated brown-outs
+  encode_and_transmit(cp.message, /*include_recovery=*/false);
 }
 
 void Sender::on_frame(const sim::RxFrame& frame) {
@@ -488,6 +691,7 @@ void Sender::publish_metrics(telemetry::MetricsRegistry& registry,
   registry.bind_counter(prefix + ".adapt.reports_received", &reports_received_);
   registry.bind_counter(prefix + ".adapt.tier_raises", &tier_raises_);
   registry.bind_counter(prefix + ".adapt.tier_clears", &tier_clears_);
+  registry.bind_counter(prefix + ".adapt.tier_decays", &tier_decays_);
   registry.bind_counter(prefix + ".reliable.dropped_unacked", &dropped_unacked_);
   registry.bind_gauge_fn(prefix + ".adapt.tier",
                          [this] { return static_cast<double>(tier_); });
@@ -499,6 +703,23 @@ void Sender::publish_metrics(telemetry::MetricsRegistry& registry,
     return timeline_.energy_between(TimePoint{}, scheduler_.now()).value;
   });
   cycle_active_hist_ = registry.histogram(prefix + ".cycle_active_us");
+
+  if (governor_) {
+    registry.bind_counter(prefix + ".energy.brown_outs", &brown_outs_total_);
+    registry.bind_counter(prefix + ".energy.cycles_resumed", &cycles_resumed_);
+    registry.bind_counter(prefix + ".energy.cycles_aborted_stale",
+                          &cycles_aborted_stale_);
+    registry.bind_counter(prefix + ".energy.cycles_skipped", &cycles_skipped_energy_);
+    // Charge gauge: a pure projection to the snapshot time. Reading it
+    // never settles the governor, so attaching telemetry cannot perturb
+    // the settlement sequence (same-seed runs stay bit-exact).
+    registry.bind_gauge_fn(prefix + ".energy.charge_j", [this] {
+      return governor_->projected_charge(scheduler_.now()).value;
+    });
+    // Resumed-vs-aborted is in the counters above; this histogram adds
+    // how long each outage lasted (brown-out to recharge).
+    recharge_hist_ = registry.histogram(prefix + ".energy.recharge_us");
+  }
 }
 
 }  // namespace wile::core

@@ -27,6 +27,7 @@
 
 #include "phy/airtime.hpp"
 #include "power/devices.hpp"
+#include "power/harvester.hpp"
 #include "power/radio_tracker.hpp"
 #include "power/timeline.hpp"
 #include "sim/csma.hpp"
@@ -77,6 +78,33 @@ struct AdaptationConfig {
   int clear_after = 2;                // consecutive low reports to clear
   int fallback_after_cycles = 0;      // 0 = never fall back
   std::size_t fallback_tier = 0;
+  /// Stale-report watchdog: with ChannelReports silent for this many
+  /// duty cycles, the tier starts decaying one step toward
+  /// `fallback_tier` every `decay_every` further cycles instead of
+  /// freezing at the last commanded tier (a dead controller must not
+  /// pin a sender at maximum redundancy forever). 0 = disabled. Decay
+  /// composes with fallback_after_cycles: decay walks, fallback jumps.
+  int decay_after_cycles = 0;
+  int decay_every = 1;
+};
+
+/// Intermittent-power operation (see power/harvester.hpp): the sender
+/// runs off a harvested capacitor instead of an infinite supply. Wakes
+/// are gated on a charge budget, brown-outs checkpoint the in-flight
+/// cycle, and recharged devices resume the cycle instead of restarting.
+struct HarvestingConfig {
+  power::HarvesterConfig harvester{};
+  /// Wake gate: skip a duty cycle unless the settled charge covers
+  /// `wake_margin * estimated_cycle_cost()` (headroom for CSMA
+  /// deferral and fragment-count variance the estimate cannot see).
+  double wake_margin = 1.5;
+  /// Recharge target after a brown-out, as the same multiple of the
+  /// estimated cycle cost (clamped to the capacitor's capacity).
+  double resume_margin = 1.5;
+  /// Bounded staleness: a checkpointed sample older than this when the
+  /// device finally recharges is discarded, not retransmitted — the
+  /// reading no longer describes the world. 0 = keep forever.
+  Duration max_checkpoint_age = minutes(5);
 };
 
 struct SenderConfig {
@@ -152,6 +180,10 @@ struct SenderConfig {
   /// tier — except via the no-controller fallback.
   std::optional<AdaptationConfig> adaptation;
 
+  /// Batteryless operation: run off a harvested capacitor (see
+  /// HarvestingConfig). Absent = the legacy infinite supply.
+  std::optional<HarvestingConfig> harvesting;
+
   power::Esp32PowerProfile power{};
 
   /// Bound on the power timeline's retained segment history (0 =
@@ -170,6 +202,9 @@ struct SendReport {
   bool acked = false;
   /// Reliable mode: this cycle retransmitted a previously unacked message.
   bool retransmission = false;
+  /// Harvesting: this cycle resumed from a brown-out checkpoint (same
+  /// sequence as the interrupted attempt; receivers dedupe).
+  bool resumed = false;
   /// Table-1 accounting: "we consider only the time required to transmit
   /// the packet" — (airtime + PA ramp) x TX power draw.
   Joules tx_only_energy{};
@@ -250,9 +285,33 @@ class Sender : public sim::MediumClient {
   [[nodiscard]] std::uint64_t tier_clears() const { return tier_clears_; }
   /// True while running the open-loop fallback tier (controller silent).
   [[nodiscard]] bool fallback_active() const { return fallback_active_; }
+  /// Stale-report watchdog steps taken toward the fallback tier.
+  [[nodiscard]] std::uint64_t tier_decays() const { return tier_decays_; }
   [[nodiscard]] std::uint64_t recovery_beacons_sent() const {
     return recovery_beacons_sent_;
   }
+
+  // --- intermittent power observability --------------------------------------
+  /// Non-null iff config.harvesting was set. The governor is also the
+  /// sim::EnergyFaultTarget to hand FaultInjector::attach_energy_target.
+  [[nodiscard]] power::EnergyGovernor* energy_governor() { return governor_.get(); }
+  [[nodiscard]] const power::EnergyGovernor* energy_governor() const {
+    return governor_.get();
+  }
+  /// True between a brown-out and the recharge that clears it.
+  [[nodiscard]] bool recovering() const { return recovering_; }
+  [[nodiscard]] std::uint64_t brown_outs() const { return brown_outs_total_; }
+  [[nodiscard]] std::uint64_t cycles_resumed() const { return cycles_resumed_; }
+  [[nodiscard]] std::uint64_t cycles_aborted_stale() const {
+    return cycles_aborted_stale_;
+  }
+  /// Wakes skipped because the capacitor could not fund a full cycle.
+  [[nodiscard]] std::uint64_t cycles_skipped_energy() const {
+    return cycles_skipped_energy_;
+  }
+  /// Charge budget the wake gate compares against (one nominal cycle at
+  /// the active tier, margins excluded). Exposed for benches/tests.
+  [[nodiscard]] Joules estimated_cycle_cost() const;
 
   /// TX power draw (P_tx of Eq. 1) for this device profile.
   [[nodiscard]] Watts tx_power_draw() const {
@@ -278,6 +337,9 @@ class Sender : public sim::MediumClient {
   };
 
   void begin_cycle(Bytes data, SendCallback done);
+  /// Shared back half of begin_cycle/resume_cycle: encode `message`
+  /// into this cycle's beacon train and schedule the init->TX chain.
+  void encode_and_transmit(const Message& message, bool include_recovery);
   void inject_fragments(std::vector<CycleMpdu> mpdus, std::size_t index);
   void after_last_beacon();
   [[nodiscard]] RedundancyTier active_tier() const;
@@ -342,6 +404,8 @@ class Sender : public sim::MediumClient {
   bool cycle_failed_ = false;
   bool cycle_acked_ = false;
   bool cycle_retransmission_ = false;
+  bool cycle_resumed_ = false;
+  std::uint32_t cycle_sequence_ = 0;  // the sequence this cycle carries
   int cycle_parity_beacons_ = 0;
   Duration cycle_parity_airtime_{};
 
@@ -375,6 +439,40 @@ class Sender : public sim::MediumClient {
     return config_.reliable && unacked_ &&
            unacked_attempts_ < config_.reliable_max_attempts;
   }
+
+  // adaptation: stale-report decay
+  std::uint64_t tier_decays_ = 0;
+
+  // --- intermittent power (harvesting) --------------------------------------
+  // The persistent region an intermittent device keeps across
+  // brown-outs: sequence_/recovery_sequence_/recent_sent_/
+  // msgs_since_recovery_ above (FRAM-class state), plus the checkpoint
+  // of the in-flight cycle written before the risky phases.
+  struct Checkpoint {
+    Message message;          // sequence already assigned
+    TimePoint sampled_at{};   // staleness is measured from first sampling
+  };
+  void on_brown_out();
+  void schedule_resume();
+  void resume_cycle();
+  [[nodiscard]] Joules resume_target() const;
+  /// True (and the brown-out path has run) if the capacitor is dry at
+  /// this phase boundary. No-op without harvesting.
+  bool maybe_brown_out();
+
+  std::unique_ptr<power::EnergyGovernor> governor_;
+  std::optional<Checkpoint> checkpoint_;
+  /// Bumped on every brown-out; scheduled cycle lambdas capture the
+  /// epoch they belong to and bail when stranded.
+  std::uint64_t cycle_epoch_ = 0;
+  bool recovering_ = false;
+  std::optional<sim::EventId> resume_event_;
+  TimePoint brown_out_at_{};
+  std::uint64_t brown_outs_total_ = 0;
+  std::uint64_t cycles_resumed_ = 0;
+  std::uint64_t cycles_aborted_stale_ = 0;
+  std::uint64_t cycles_skipped_energy_ = 0;
+  telemetry::Histogram* recharge_hist_ = nullptr;
 
   // duty cycle
   bool duty_cycling_ = false;

@@ -7,7 +7,10 @@ silently reshaped file):
 
   * wile-telemetry-v1 (src/telemetry/export.hpp) — whole-sim telemetry
     snapshots exported by ScenarioBuilder scenarios;
-  * the scale_fleet runs table (BENCH_scale_fleet*.json).
+  * the scale_fleet runs table (BENCH_scale_fleet*.json);
+  * the ablate_harvesting feasibility frontier
+    (BENCH_ablate_harvesting*.json) — distance vs. report rate, which
+    must be monotone and carry a matching determinism oracle.
 
 Usage: check_bench_schema.py FILE [FILE...]
 Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
@@ -36,6 +39,13 @@ FLEET_RUN_REQUIRED = ["n", "sim_seconds", "wall_seconds", "sim_wall_ratio",
                       "events", "events_per_sec", "transmissions", "deliveries",
                       "collision_losses", "messages", "rss_peak_mb",
                       "rss_delta_mb"]
+
+HARVEST_TOP_REQUIRED = ["bench", "quick", "sim_seconds", "period_seconds",
+                        "source_tx_dbm", "rectenna_efficiency", "runs",
+                        "monotone_frontier", "determinism_ok"]
+HARVEST_RUN_REQUIRED = ["distance_m", "harvest_uw", "cycles_run",
+                        "cycles_skipped", "brown_outs", "cycles_resumed",
+                        "messages", "reports_per_hour", "digest"]
 
 
 def fail(errors, msg):
@@ -100,6 +110,42 @@ def check_fleet_runs(doc, errors):
             fail(errors, f"runs[{i}] has no traffic — broken run?")
 
 
+def check_harvesting(doc, errors):
+    for key in HARVEST_TOP_REQUIRED:
+        if key not in doc:
+            fail(errors, f"missing top-level key {key!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(errors, "runs missing or empty")
+    for i, run in enumerate(runs):
+        for key in HARVEST_RUN_REQUIRED:
+            if key not in run:
+                fail(errors, f"runs[{i}] missing {key!r}")
+    if errors:
+        return
+
+    # The feasibility frontier: harvest power and report rate must both
+    # be non-increasing as the sender moves away from the RF source.
+    for prev, cur in zip(runs, runs[1:]):
+        if cur["distance_m"] <= prev["distance_m"]:
+            fail(errors, "runs not sorted by increasing distance")
+        if cur["harvest_uw"] > prev["harvest_uw"]:
+            fail(errors, f"harvest rises at {cur['distance_m']} m")
+        if cur["reports_per_hour"] > prev["reports_per_hour"]:
+            fail(errors, f"report rate rises at {cur['distance_m']} m "
+                         "— frontier not monotone")
+    if runs[0]["reports_per_hour"] <= runs[-1]["reports_per_hour"]:
+        fail(errors, "frontier is flat: nearest point does not beat farthest")
+    if runs[0]["messages"] <= 0:
+        fail(errors, "no traffic at the nearest distance — broken run?")
+    # The bench compares two same-seed runs per distance before writing;
+    # these flags are the oracle's verdict and the exit-code gate.
+    if doc["monotone_frontier"] is not True:
+        fail(errors, "monotone_frontier is not true")
+    if doc["determinism_ok"] is not True:
+        fail(errors, "determinism oracle failed: same-seed digests differ")
+
+
 def check_file(path):
     errors = []
     try:
@@ -112,9 +158,12 @@ def check_file(path):
         check_telemetry(doc, errors)
     elif doc.get("bench") == "scale_fleet" and "runs" in doc:
         check_fleet_runs(doc, errors)
+    elif doc.get("bench") == "ablate_harvesting":
+        check_harvesting(doc, errors)
     else:
-        errors.append("unrecognized document: neither wile-telemetry-v1 "
-                      "nor a scale_fleet runs table")
+        errors.append("unrecognized document: not wile-telemetry-v1, "
+                      "a scale_fleet runs table, or an ablate_harvesting "
+                      "frontier")
     return errors
 
 
