@@ -1,6 +1,7 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace wile::sim {
@@ -87,9 +88,30 @@ FaultInjector::~FaultInjector() {
   for (EventId id : pending_) scheduler_.cancel(id);
 }
 
+void FaultInjector::track_window(WindowKind kind, std::uint32_t target,
+                                 TimePoint start, Duration duration) {
+  TrackedWindow w;
+  w.key = (static_cast<std::uint64_t>(kind) << 32) | target;
+  w.start_us = start.us();
+  w.end_us = (start + duration).us();
+  for (const TrackedWindow& other : tracked_) {
+    if (other.key == w.key && w.start_us < other.end_us &&
+        other.start_us < w.end_us) {
+      ++stats_.windows_overlapping;
+      break;  // warn once per newly scheduled window
+    }
+  }
+  tracked_.push_back(w);
+}
+
 void FaultInjector::window(TimePoint start, Duration duration,
                            std::function<void()> on_start, std::function<void()> on_end) {
-  if (duration.count() < 0) throw std::invalid_argument("FaultInjector: negative window");
+  // end <= start is a script bug (the window would never be open, or the
+  // unwind would fire before the apply); reject when scheduled, not
+  // hours of simulated time later when the events fire.
+  if (duration.count() <= 0) {
+    throw std::invalid_argument("FaultInjector: window end must follow start");
+  }
   ++stats_.windows_scheduled;
   pending_.push_back(scheduler_.schedule_at(start, [this, on_start = std::move(on_start)] {
     ++stats_.windows_started;
@@ -112,6 +134,10 @@ void FaultInjector::at(TimePoint when, std::function<void()> fn) {
 }
 
 void FaultInjector::noise_floor_rise(TimePoint start, Duration duration, double delta_db) {
+  if (!std::isfinite(delta_db)) {
+    throw std::invalid_argument("FaultInjector: non-finite noise delta");
+  }
+  track_window(WindowKind::kNoise, kGlobalTarget, start, duration);
   window(
       start, duration,
       [this, delta_db] { medium_.set_noise_offset_db(medium_.noise_offset_db() + delta_db); },
@@ -121,7 +147,11 @@ void FaultInjector::noise_floor_rise(TimePoint start, Duration duration, double 
 }
 
 void FaultInjector::per_multiplier(TimePoint start, Duration duration, double multiplier) {
-  if (multiplier <= 0.0) throw std::invalid_argument("FaultInjector: PER multiplier <= 0");
+  // !(x > 0) rather than x <= 0 so NaN is rejected too.
+  if (!(multiplier > 0.0) || !std::isfinite(multiplier)) {
+    throw std::invalid_argument("FaultInjector: PER multiplier not in (0, inf)");
+  }
+  track_window(WindowKind::kPerMultiplier, kGlobalTarget, start, duration);
   window(
       start, duration,
       [this, multiplier] { medium_.set_per_multiplier(medium_.per_multiplier() * multiplier); },
@@ -131,7 +161,11 @@ void FaultInjector::per_multiplier(TimePoint start, Duration duration, double mu
 }
 
 void FaultInjector::per_floor(TimePoint start, Duration duration, double p) {
-  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("FaultInjector: PER floor not in [0,1)");
+  // !(0 <= p < 1) rejects NaN alongside out-of-range values.
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("FaultInjector: PER floor not in [0,1)");
+  }
+  track_window(WindowKind::kPerFloor, kGlobalTarget, start, duration);
   // Stack as independent erasure processes so nested windows compose and
   // unwind exactly: survival probabilities multiply/divide.
   window(
@@ -140,15 +174,34 @@ void FaultInjector::per_floor(TimePoint start, Duration duration, double p) {
       [this, p] { medium_.set_loss_floor(1.0 - (1.0 - medium_.loss_floor()) / (1.0 - p)); });
 }
 
+void FaultInjector::per_floor(TimePoint start, Duration duration, double p, NodeId node) {
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("FaultInjector: PER floor not in [0,1)");
+  }
+  track_window(WindowKind::kPerFloor, node, start, duration);
+  window(
+      start, duration,
+      [this, p, node] {
+        medium_.set_node_loss_floor(
+            node, 1.0 - (1.0 - medium_.node_loss_floor(node)) * (1.0 - p));
+      },
+      [this, p, node] {
+        medium_.set_node_loss_floor(
+            node, 1.0 - (1.0 - medium_.node_loss_floor(node)) / (1.0 - p));
+      });
+}
+
 NodeId FaultInjector::jammer(TimePoint start, Duration duration, JammerConfig config) {
   jammers_.push_back(
       std::make_unique<Jammer>(scheduler_, medium_, config, stats_, rng_.fork()));
   Jammer* j = jammers_.back().get();
+  track_window(WindowKind::kJammer, kGlobalTarget, start, duration);
   window(start, duration, [j] { j->activate(); }, [j] { j->deactivate(); });
   return j->node_id();
 }
 
 void FaultInjector::radio_deaf(TimePoint start, Duration duration, NodeId node) {
+  track_window(WindowKind::kRadioDeaf, node, start, duration);
   window(start, duration, [this, node] { medium_.set_rx_blocked(node, true); },
          [this, node] { medium_.set_rx_blocked(node, false); });
 }
@@ -177,7 +230,10 @@ void FaultInjector::brown_out_all(TimePoint when) {
 }
 
 void FaultInjector::harvest_fade(TimePoint start, Duration duration, double scale) {
-  if (scale < 0.0) throw std::invalid_argument("FaultInjector: negative fade scale");
+  if (!(scale >= 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("FaultInjector: fade scale not in [0, inf)");
+  }
+  track_window(WindowKind::kHarvestFade, kGlobalTarget, start, duration);
   window(
       start, duration,
       [this, scale] {
@@ -191,7 +247,18 @@ void FaultInjector::harvest_fade(TimePoint start, Duration duration, double scal
 
 void FaultInjector::harvest_fade(TimePoint start, Duration duration, double scale,
                                  EnergyFaultTarget& target) {
-  if (scale < 0.0) throw std::invalid_argument("FaultInjector: negative fade scale");
+  if (!(scale >= 0.0) || !std::isfinite(scale)) {
+    throw std::invalid_argument("FaultInjector: fade scale not in [0, inf)");
+  }
+  // Track by registration index when the target is attached, so two
+  // fades on the same device warn but fades on different devices don't.
+  // Pointer identity would work within a run but keys must be stable.
+  const auto it = std::find(energy_targets_.begin(), energy_targets_.end(), &target);
+  if (it != energy_targets_.end()) {
+    track_window(WindowKind::kHarvestFade,
+                 static_cast<std::uint32_t>(it - energy_targets_.begin()), start,
+                 duration);
+  }
   window(
       start, duration,
       [this, scale, &target] {
@@ -215,6 +282,7 @@ void FaultInjector::publish_metrics(telemetry::MetricsRegistry& registry,
   registry.bind_counter(prefix + ".jammer_bursts", &stats_.jammer_bursts);
   registry.bind_counter(prefix + ".brown_outs_injected", &stats_.brown_outs_injected);
   registry.bind_counter(prefix + ".harvest_fades", &stats_.harvest_fades);
+  registry.bind_counter(prefix + ".windows_overlapping", &stats_.windows_overlapping);
 }
 
 }  // namespace wile::sim

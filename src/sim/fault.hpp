@@ -63,6 +63,11 @@ struct FaultStats {
   /// Energy faults: scheduled brown-outs delivered, fade windows opened.
   std::uint64_t brown_outs_injected = 0;
   std::uint64_t harvest_fades = 0;
+  /// Script-validation warning: typed windows of the same kind whose
+  /// intervals overlap on the same target (usually a script bug — the
+  /// faults stack, which is rarely what the author meant). Scheduling
+  /// still proceeds; chaos campaigns overlap deliberately.
+  std::uint64_t windows_overlapping = 0;
 };
 
 /// Implemented by intermittent power supplies (power::EnergyGovernor).
@@ -91,7 +96,9 @@ class FaultInjector {
   // --- generic primitives ----------------------------------------------------
 
   /// Open a fault window: `on_start` fires at `start`, `on_end` at
-  /// `start + duration`. Either callback may be empty.
+  /// `start + duration`. Either callback may be empty. Throws
+  /// std::invalid_argument when duration <= 0 (end would not follow
+  /// start) — validated at schedule time, not when the window fires.
   void window(TimePoint start, Duration duration, std::function<void()> on_start,
               std::function<void()> on_end);
 
@@ -113,6 +120,11 @@ class FaultInjector {
   /// tests use to inject exact loss). Overlapping windows stack as
   /// independent erasure processes: 1 - (1-a)(1-b).
   void per_floor(TimePoint start, Duration duration, double p);
+
+  /// Per-device erasure floor for the window: only frames arriving at
+  /// `node` see the extra loss (one sensor behind a forklift). Stacks
+  /// with other per-node windows the same way the global floor does.
+  void per_floor(TimePoint start, Duration duration, double p, NodeId node);
 
   /// Attach a jammer node that bursts for the window. Returns its NodeId
   /// (useful for carrier-sense assertions). The jammer object lives as
@@ -165,6 +177,27 @@ class FaultInjector {
  private:
   class Jammer;
 
+  /// Typed-window bookkeeping for the overlap warning. The key packs the
+  /// fault kind with the target node (kGlobalTarget for fleet-wide
+  /// faults); a new window overlapping any scheduled window with the
+  /// same key bumps stats_.windows_overlapping once.
+  enum class WindowKind : std::uint32_t {
+    kNoise,
+    kPerMultiplier,
+    kPerFloor,
+    kJammer,
+    kRadioDeaf,
+    kHarvestFade,
+  };
+  static constexpr std::uint32_t kGlobalTarget = 0xFFFF'FFFF;
+  struct TrackedWindow {
+    std::uint64_t key = 0;
+    std::int64_t start_us = 0;
+    std::int64_t end_us = 0;
+  };
+  void track_window(WindowKind kind, std::uint32_t target, TimePoint start,
+                    Duration duration);
+
   Scheduler& scheduler_;
   Medium& medium_;
   Rng rng_;
@@ -172,6 +205,7 @@ class FaultInjector {
   std::vector<EventId> pending_;  // cancelled on destruction
   std::vector<std::unique_ptr<Jammer>> jammers_;
   std::vector<EnergyFaultTarget*> energy_targets_;
+  std::vector<TrackedWindow> tracked_;
 };
 
 }  // namespace wile::sim

@@ -132,6 +132,13 @@ void Medium::set_rx_blocked(NodeId id, bool blocked) { nodes_.at(id).rx_blocked 
 
 bool Medium::rx_blocked(NodeId id) const { return nodes_.at(id).rx_blocked; }
 
+void Medium::set_node_loss_floor(NodeId id, double p) {
+  assert(std::isfinite(p) && "Medium::set_node_loss_floor: non-finite floor");
+  nodes_.at(id).loss_floor = std::isfinite(p) ? std::clamp(p, 0.0, 1.0) : 0.0;
+}
+
+double Medium::node_loss_floor(NodeId id) const { return nodes_.at(id).loss_floor; }
+
 void Medium::transmit(NodeId transmitter, TxRequest request) {
   NodeEntry& node = nodes_.at(transmitter);
   if (node.transmitting) {
@@ -247,7 +254,15 @@ void Medium::deliver(const ActiveTx& tx) {
     per = std::min(1.0, per * per_multiplier_);
     // Independent erasure floor: lose at least `loss_floor_` of frames
     // regardless of SNR (union of the two independent loss processes).
-    per = loss_floor_ + (1.0 - loss_floor_) * per;
+    // The per-node floor stacks the same way, but only when set — the
+    // composed expression is not bit-identical to the global-only one
+    // at node.loss_floor == 0, and digest-pinned determinism tests
+    // require the legacy path untouched.
+    double floor = loss_floor_;
+    if (node.loss_floor > 0.0) {
+      floor = 1.0 - (1.0 - floor) * (1.0 - node.loss_floor);
+    }
+    per = floor + (1.0 - floor) * per;
     if (rng_.chance(per)) {
       ++stats_.channel_losses;
       node.client->on_corrupt_frame(frame, /*collision=*/false);

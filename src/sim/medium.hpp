@@ -23,6 +23,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -149,8 +151,23 @@ class Medium {
   /// independent erasure process on top of the model PER (so a clean
   /// short-range link still drops `p` of its frames). This is the knob
   /// FEC ablations use to inject an exact packet error rate.
-  void set_loss_floor(double p) { loss_floor_ = std::clamp(p, 0.0, 1.0); }
+  ///
+  /// Non-finite inputs assert in debug builds and are dropped (treated
+  /// as 0) in release: std::clamp would silently pass NaN through, and a
+  /// NaN floor poisons every subsequent PER draw.
+  void set_loss_floor(double p) {
+    assert(std::isfinite(p) && "Medium::set_loss_floor: non-finite floor");
+    loss_floor_ = std::isfinite(p) ? std::clamp(p, 0.0, 1.0) : 0.0;
+  }
   [[nodiscard]] double loss_floor() const { return loss_floor_; }
+
+  /// Per-node erasure floor, stacking with the global floor as an
+  /// independent loss process (1 - (1-global)(1-node)). Models a single
+  /// device behind drywall or with a detuned antenna; FaultInjector's
+  /// per-device floor windows drive this. Same NaN hardening as
+  /// set_loss_floor.
+  void set_node_loss_floor(NodeId id, double p);
+  [[nodiscard]] double node_loss_floor(NodeId id) const;
 
   /// Block/unblock frame delivery to a node (its transmit path still
   /// works — a deaf radio can shout, and its antenna still senses
@@ -175,6 +192,12 @@ class Medium {
     std::uint64_t channel_losses = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// In-flight transmissions right now (each holds one FrameBuffer).
+  /// With FrameBuffer::live_buffers() this forms the chaos harness's
+  /// leak oracle: once the channel is idle, no payload buffers other
+  /// than those owned by active transmissions may remain alive.
+  [[nodiscard]] std::size_t active_transmissions() const { return active_.size(); }
 
   /// Register this medium's counters with a telemetry registry under
   /// `prefix` ("medium.transmissions", ...). The registry binds pointers
@@ -216,6 +239,8 @@ class Medium {
     bool rx_blocked = false;
     /// Bumped on set_position; invalidates cached path losses.
     std::uint32_t position_epoch = 0;
+    /// Per-node erasure floor (set_node_loss_floor); 0 = none.
+    double loss_floor = 0.0;
   };
 
   void finish_transmission(std::uint64_t tx_id);

@@ -171,6 +171,11 @@ class Station : public sim::MediumClient {
   [[nodiscard]] const StationConfig& config() const { return config_; }
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
   [[nodiscard]] std::optional<net::Ipv4Address> ip() const { return ip_; }
+  /// Teardown generation of the current association (see link_epoch_).
+  /// Strictly monotone for the station's lifetime — the chaos harness
+  /// registers it as a monotone-counter invariant across brown-out
+  /// resumes and forced link-downs.
+  [[nodiscard]] std::uint64_t link_epoch() const { return link_epoch_; }
   [[nodiscard]] bool associated() const {
     return phase_ == Phase::PsIdle || phase_ == Phase::PsBeaconRx ||
            phase_ == Phase::PsSend;

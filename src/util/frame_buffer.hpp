@@ -25,32 +25,39 @@ class FrameBuffer {
   /// Takes ownership of `bytes` — the payload is moved, not copied.
   FrameBuffer(Bytes bytes)  // NOLINT(google-explicit-constructor)
       : data_(bytes.empty() ? nullptr
-                            : std::make_shared<const Bytes>(std::move(bytes))) {}
+                            : std::make_shared<const Counted>(std::move(bytes))) {}
 
   static FrameBuffer copy_of(BytesView view) {
     return FrameBuffer{Bytes(view.begin(), view.end())};
   }
 
-  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->bytes.size() : 0; }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] const std::uint8_t* data() const {
-    return data_ ? data_->data() : nullptr;
+    return data_ ? data_->bytes.data() : nullptr;
   }
   [[nodiscard]] const std::uint8_t* begin() const { return data(); }
   [[nodiscard]] const std::uint8_t* end() const { return data() + size(); }
-  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data_->bytes[i]; }
 
   [[nodiscard]] BytesView view() const {
-    return data_ ? BytesView{*data_} : BytesView{};
+    return data_ ? BytesView{data_->bytes} : BytesView{};
   }
   operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
 
   /// Materialise an owned copy (only where mutation is genuinely needed).
-  [[nodiscard]] Bytes to_bytes() const { return data_ ? *data_ : Bytes{}; }
+  [[nodiscard]] Bytes to_bytes() const { return data_ ? data_->bytes : Bytes{}; }
 
   /// How many FrameBuffers share these bytes (tests pin the zero-copy
   /// contract with this).
   [[nodiscard]] long owners() const { return data_ ? data_.use_count() : 0; }
+
+  /// Distinct payload allocations currently alive, process-wide. Copies
+  /// share an allocation; only creating/destroying the last owner moves
+  /// this count. The chaos harness's leak oracle compares it against
+  /// Medium::active_transmissions() on an idle channel — a component
+  /// squirrelling away RxFrames past its contract shows up here.
+  [[nodiscard]] static std::uint64_t live_buffers() { return live_count_; }
 
   friend bool operator==(const FrameBuffer& a, const FrameBuffer& b) {
     return std::equal(a.begin(), a.end(), b.begin(), b.end());
@@ -61,7 +68,20 @@ class FrameBuffer {
   friend bool operator==(const Bytes& a, const FrameBuffer& b) { return b == a; }
 
  private:
-  std::shared_ptr<const Bytes> data_;
+  /// The shared payload, counted at allocation granularity (ctor/dtor of
+  /// the control block, not of each FrameBuffer handle).
+  struct Counted {
+    Bytes bytes;
+    explicit Counted(Bytes b) : bytes(std::move(b)) { ++live_count_; }
+    Counted(const Counted&) = delete;
+    Counted& operator=(const Counted&) = delete;
+    ~Counted() { --live_count_; }
+  };
+
+  // The simulator is single-threaded by design; plain is fine.
+  static inline std::uint64_t live_count_ = 0;
+
+  std::shared_ptr<const Counted> data_;
 };
 
 }  // namespace wile

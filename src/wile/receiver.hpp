@@ -99,6 +99,12 @@ class Receiver : public sim::MediumClient {
   /// last_seq,first_seen_s,last_seen_s,rssi_dbm") for ops dashboards.
   [[nodiscard]] std::string devices_csv() const;
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] const ReceiverConfig& config() const { return config_; }
+  /// In-progress fragmented messages currently held. The chaos
+  /// harness's partial-table oracle pins this to config().max_partials.
+  [[nodiscard]] std::size_t reassembler_partials() const {
+    return reassembler_.partials();
+  }
 
   // --- sim::MediumClient -----------------------------------------------------
   void on_frame(const sim::RxFrame& frame) override;

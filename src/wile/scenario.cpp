@@ -187,6 +187,106 @@ FaultInjector& Scenario::faults() {
   return *faults_;
 }
 
+void Scenario::attach_invariants(InvariantMonitor& monitor) {
+  // Scheduler: simulated time and the event counter only move forward.
+  monitor.add_monotone_counter("scheduler.time_us", [this] {
+    return static_cast<std::uint64_t>(scheduler_.now().since_epoch().count());
+  });
+  monitor.add_monotone_counter("scheduler.events_run",
+                               [this] { return scheduler_.events_run(); });
+
+  // Frame-buffer leak accounting: every payload allocation alive must be
+  // owned by an in-flight transmission. Sweeps run as scheduler events,
+  // so no delivery is mid-flight when this is sampled.
+  monitor.add_check("medium.frame_buffer_leak", [this]() -> std::optional<std::string> {
+    const std::uint64_t live = FrameBuffer::live_buffers();
+    const auto in_flight = static_cast<std::uint64_t>(medium_.active_transmissions());
+    if (live > in_flight) {
+      return std::to_string(live) + " live frame buffers but only " +
+             std::to_string(in_flight) + " in-flight transmissions";
+    }
+    return std::nullopt;
+  });
+
+  // Gateways: reassembler partial tables stay bounded, and no (device,
+  // sequence) pair is ever delivered twice by the same gateway. The
+  // message callback is re-wired through the monitor; the scenario's
+  // aggregate counter and any user callback keep working.
+  for (auto& r : receivers_) {
+    core::Receiver* gw = r.get();
+    monitor.add_bounded_gauge(
+        "receiver.partial_table_bound",
+        [gw] { return static_cast<double>(gw->reassembler_partials()); }, 0.0,
+        static_cast<double>(gw->config().max_partials), gw->node_id());
+    gw->set_message_callback(
+        [this, &monitor, key = static_cast<std::uint32_t>(gw->node_id())](
+            const core::Message& msg, const core::RxMeta& meta) {
+          ++messages_;
+          monitor.on_delivery(key, msg.device_id, msg.sequence, scheduler_.now());
+          if (user_on_message_) user_on_message_(msg, meta);
+        });
+  }
+
+  for (auto& s : senders_) {
+    const core::Sender* dev = s.get();
+    // Sequence numbers never run backwards — a brown-out resume that
+    // rewound the counter would replay sequences the gateway has seen.
+    monitor.add_monotone_counter(
+        "sender.sequence_monotone", [dev] { return std::uint64_t{dev->next_sequence()}; },
+        dev->node_id());
+
+    if (const power::EnergyGovernor* gov = dev->energy_governor()) {
+      // Energy conservation: stored charge can never exceed what the
+      // initial charge plus an unfaded harvest could have supplied, nor
+      // leave [0, capacity]. projected_charge is const — the oracle
+      // never perturbs settlement, so attaching it cannot change a run.
+      const auto& hcfg = gov->harvester().config();
+      const double capacity = gov->harvester().capacity().value;
+      const double initial = capacity * hcfg.initial_charge_fraction;
+      const double harvest_w = hcfg.harvest_power.value;
+      const double tol = 1e-9 + 1e-6 * capacity;
+      monitor.add_check(
+          "sender.energy_conservation",
+          [this, gov, capacity, initial, harvest_w, tol]() -> std::optional<std::string> {
+            const TimePoint now = scheduler_.now();
+            const double q = gov->projected_charge(now).value;
+            const double elapsed_s =
+                static_cast<double>(now.since_epoch().count()) / 1e6;
+            const double upper =
+                std::min(capacity, initial + harvest_w * elapsed_s) + tol;
+            if (q < -tol) {
+              return "stored energy negative: " + std::to_string(q) + " J";
+            }
+            if (q > upper) {
+              return "stored energy " + std::to_string(q) +
+                     " J exceeds harvestable bound " + std::to_string(upper) + " J";
+            }
+            return std::nullopt;
+          },
+          dev->node_id());
+    }
+  }
+}
+
+ChaosTargets Scenario::chaos_targets() {
+  ChaosTargets targets;
+  targets.faults = &faults();
+  targets.device_nodes.reserve(senders_.size());
+  targets.clock_drift.reserve(senders_.size());
+  targets.energy.reserve(senders_.size());
+  for (auto& s : senders_) {
+    targets.device_nodes.push_back(s->node_id());
+    targets.clock_drift.push_back(
+        [dev = s.get()](double ppm) { dev->apply_clock_drift_ppm(ppm); });
+    targets.energy.push_back(s->energy_governor());
+  }
+  for (auto& r : receivers_) targets.gateway_nodes.push_back(r->node_id());
+  if (!receivers_.empty()) {
+    targets.jammer_position = medium_.position(receivers_.front()->node_id());
+  }
+  return targets;
+}
+
 const std::vector<telemetry::Snapshot>& Scenario::samples() const {
   static const std::vector<telemetry::Snapshot> kEmpty;
   return sampler_ ? sampler_->samples() : kEmpty;

@@ -33,7 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/fault.hpp"
+#include "sim/invariants.hpp"
 #include "sim/medium.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/export.hpp"
@@ -64,6 +66,23 @@ class Scenario {
   /// Lazily constructed on first use (so scenarios that never inject
   /// faults pay nothing and schedule nothing).
   [[nodiscard]] FaultInjector& faults();
+
+  // --- chaos harness ---------------------------------------------------------
+  /// Wire the standard invariant catalog over this fleet: scheduler
+  /// monotonicity, FrameBuffer leak accounting against the medium's
+  /// in-flight transmissions, per-gateway reassembler bounds and
+  /// per-device sequence uniqueness (the gateway callbacks are re-wired
+  /// through the monitor), per-device monotone sequence counters, and —
+  /// for harvesting fleets — energy conservation via the governor's
+  /// non-perturbing projected charge. The monitor must outlive every
+  /// event this scenario runs. Call monitor.start() separately to sweep.
+  void attach_invariants(InvariantMonitor& monitor);
+
+  /// Binding for chaos campaigns: the injector plus every device and
+  /// gateway node, per-device clock-drift appliers and energy targets.
+  /// The generated jammer sits at the first gateway (worst case for
+  /// uplink delivery).
+  [[nodiscard]] ChaosTargets chaos_targets();
 
   // --- nodes -----------------------------------------------------------------
   [[nodiscard]] std::vector<std::unique_ptr<core::Sender>>& devices() {

@@ -10,7 +10,10 @@ silently reshaped file):
   * the scale_fleet runs table (BENCH_scale_fleet*.json);
   * the ablate_harvesting feasibility frontier
     (BENCH_ablate_harvesting*.json) — distance vs. report rate, which
-    must be monotone and carry a matching determinism oracle.
+    must be monotone and carry a matching determinism oracle;
+  * the chaos_soak campaign summary (BENCH_chaos_soak*.json) — the
+    randomized fault-campaign soak, which must report zero invariant
+    violations and a passing same-seed determinism oracle.
 
 Usage: check_bench_schema.py FILE [FILE...]
 Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
@@ -46,6 +49,15 @@ HARVEST_TOP_REQUIRED = ["bench", "quick", "sim_seconds", "period_seconds",
 HARVEST_RUN_REQUIRED = ["distance_m", "harvest_uw", "cycles_run",
                         "cycles_skipped", "brown_outs", "cycles_resumed",
                         "messages", "reports_per_hour", "digest"]
+
+CHAOS_TOP_REQUIRED = ["bench", "quick", "campaigns", "seed_base",
+                      "faults_generated", "faults_armed", "violations",
+                      "campaigns_with_violations", "determinism_ok",
+                      "shrinks"]
+# Each entry the soak writes when a campaign trips an oracle and gets
+# ddmin-shrunk to a replayable repro file.
+CHAOS_SHRINK_REQUIRED = ["seed", "invariant", "original_actions",
+                         "minimal_actions", "runs", "repro"]
 
 
 def fail(errors, msg):
@@ -146,6 +158,42 @@ def check_harvesting(doc, errors):
         fail(errors, "determinism oracle failed: same-seed digests differ")
 
 
+def check_chaos_soak(doc, errors):
+    for key in CHAOS_TOP_REQUIRED:
+        if key not in doc:
+            fail(errors, f"missing top-level key {key!r}")
+    if errors:
+        return
+
+    if doc["campaigns"] <= 0:
+        fail(errors, "no campaigns run — broken soak?")
+    if doc["faults_armed"] <= 0:
+        fail(errors, "no faults armed — campaigns never touched the fleet?")
+    if doc["faults_armed"] > doc["faults_generated"]:
+        fail(errors, "faults_armed exceeds faults_generated")
+
+    shrinks = doc["shrinks"]
+    if not isinstance(shrinks, list):
+        return fail(errors, "shrinks is not a list")
+    for i, entry in enumerate(shrinks):
+        for key in CHAOS_SHRINK_REQUIRED:
+            if key not in entry:
+                fail(errors, f"shrinks[{i}] missing {key!r}")
+        if entry.get("minimal_actions", 0) > entry.get("original_actions", 0):
+            fail(errors, f"shrinks[{i}] grew: ddmin must never add actions")
+
+    # The gates. A violation means a graceful-degradation bug escaped the
+    # invariant oracles into main; the soak's whole point is that this
+    # stays at zero (the repro files in `shrinks` are the debugging
+    # starting point when it does not).
+    if doc["violations"] != 0:
+        fail(errors, f"{doc['violations']} invariant violation(s) across "
+                     f"{doc['campaigns_with_violations']} campaign(s)")
+    if doc["determinism_ok"] is not True:
+        fail(errors, "determinism oracle failed: same-seed campaign replay "
+                     "diverged")
+
+
 def check_file(path):
     errors = []
     try:
@@ -160,10 +208,12 @@ def check_file(path):
         check_fleet_runs(doc, errors)
     elif doc.get("bench") == "ablate_harvesting":
         check_harvesting(doc, errors)
+    elif doc.get("bench") == "chaos_soak":
+        check_chaos_soak(doc, errors)
     else:
         errors.append("unrecognized document: not wile-telemetry-v1, "
-                      "a scale_fleet runs table, or an ablate_harvesting "
-                      "frontier")
+                      "a scale_fleet runs table, an ablate_harvesting "
+                      "frontier, or a chaos_soak summary")
     return errors
 
 
