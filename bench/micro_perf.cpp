@@ -10,6 +10,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "crypto/aes_modes.hpp"
@@ -18,6 +19,7 @@
 #include "dot11/frame.hpp"
 #include "phy/channel.hpp"
 #include "sim/medium.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "wile/codec.hpp"
@@ -253,6 +255,67 @@ void BM_MediumSparseFleet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MediumSparseFleet)->Arg(1000)->Arg(10000);
+
+void BM_ShardBoundary(benchmark::State& state) {
+  // The cross-shard commit path of the parallel engine: route a
+  // boundary transmission whose audible circle spans `span` stripes
+  // through the ShardRouter's SPSC queues, then drain at every
+  // destination in canonical merge order. This is the per-frame cost a
+  // boundary node adds over an interior node.
+  const int span = static_cast<int>(state.range(0));
+  sim::ShardRouter router{8, 0.0, 80.0};
+  sim::RemoteTx tx;
+  tx.origin_node = sim::NodeId{1};
+  tx.tx_power_dbm = 20.0;
+  tx.mpdu = FrameBuffer{Bytes(200, 0xAB)};
+  tx.airtime = usec(100);
+  // Center the circle mid-domain; radius chosen so it overlaps `span`
+  // stripes (stripe width 10 m).
+  tx.origin = {40.0, 0.0};
+  tx.audible_range_m = static_cast<double>(span) * 10.0 / 2.0 - 0.5;
+  const std::size_t src = router.shard_of(tx.origin.x_m);
+
+  std::vector<sim::BoundaryTx> drained;
+  for (auto _ : state) {
+    router.route(src, tx);
+    for (std::size_t dst = 0; dst < 8; ++dst) {
+      drained.clear();
+      router.drain(dst, drained);
+      benchmark::DoNotOptimize(drained.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (span - 1));
+}
+BENCHMARK(BM_ShardBoundary)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WindowBarrier(benchmark::State& state) {
+  // Window-barrier round-trip for T workers: two arrive_and_wait calls
+  // per conservative window (run-phase barrier + drain-phase barrier).
+  // On a machine with fewer cores than T this measures the
+  // yield-and-reschedule cost the engine pays per window — exactly the
+  // overhead visible in scale_fleet's threads>hw_threads rows.
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SpinBarrier barrier{static_cast<unsigned>(workers)};
+    constexpr int kWindows = 64;
+    std::uint64_t stalls = 0;
+    std::vector<std::thread> extra;
+    auto loop = [&barrier] {
+      std::uint64_t s = 0;
+      for (int w = 0; w < kWindows; ++w) {
+        s += barrier.arrive_and_wait();  // run phase done
+        s += barrier.arrive_and_wait();  // drain phase done
+      }
+      return s;
+    };
+    for (int t = 1; t < workers; ++t) extra.emplace_back([&] { loop(); });
+    stalls = loop();
+    for (auto& t : extra) t.join();
+    benchmark::DoNotOptimize(stalls);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 2);
+}
+BENCHMARK(BM_WindowBarrier)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -15,6 +15,12 @@
 
 namespace wile::phy {
 
+/// Propagation speed of the radio wave. The sharded engine
+/// (sim/parallel.hpp) derives its conservative-lookahead lower bound
+/// from this: a transmission starting at a shard boundary cannot be
+/// heard `d` meters into the neighbor before d / c seconds elapse.
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+
 struct ChannelConfig {
   double path_loss_exponent = 3.0;   // indoor
   double reference_loss_db = 40.0;   // at 1 m, 2.4 GHz

@@ -62,43 +62,99 @@ void Medium::collect_in_range(const Position& center, double range_m,
 
 NodeId Medium::attach(MediumClient* client, Position position) {
   if (client == nullptr) throw std::invalid_argument("Medium::attach: null client");
-  nodes_.push_back(NodeEntry{client, position, false, false, 0});
-  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  clients_.push_back(client);
+  pos_x_.push_back(position.x_m);
+  pos_y_.push_back(position.y_m);
+  position_epochs_.push_back(0);
+  node_flags_.push_back(0);
+  const auto id = static_cast<NodeId>(clients_.size() - 1);
   grid_insert(id, position);
   return id;
 }
 
 void Medium::set_position(NodeId id, Position position) {
-  NodeEntry& node = nodes_.at(id);
-  grid_remove(id, node.position);
-  node.position = position;
-  ++node.position_epoch;  // cached path losses involving this node go stale
+  check_id(id);
+  grid_remove(id, node_position(id));
+  pos_x_[id] = position.x_m;
+  pos_y_[id] = position.y_m;
+  ++position_epochs_[id];  // cached path losses involving this node go stale
   grid_insert(id, position);
 }
 
-Position Medium::position(NodeId id) const { return nodes_.at(id).position; }
+Position Medium::position(NodeId id) const {
+  check_id(id);
+  return node_position(id);
+}
+
+void Medium::path_loss_store(std::uint64_t key, double loss, std::uint32_t ea,
+                             std::uint32_t eb) const {
+  if (path_loss_slots_.empty()) {
+    path_loss_slots_.resize(kInitialPathLossSlots);
+  } else if ((path_loss_used_ + 1) * 2 > path_loss_slots_.size()) {
+    // Keep load factor <= 1/2. Double up to the cap; past it, start over
+    // (the seed's unordered_map cleared wholesale at its cap too).
+    if (path_loss_slots_.size() >= kMaxPathLossSlots) {
+      std::fill(path_loss_slots_.begin(), path_loss_slots_.end(), PathLossSlot{});
+      path_loss_used_ = 0;
+    } else {
+      std::vector<PathLossSlot> old(path_loss_slots_.size() * 2);
+      old.swap(path_loss_slots_);
+      path_loss_used_ = 0;
+      for (const PathLossSlot& s : old) {
+        if (s.key != kEmptySlotKey) {
+          path_loss_store(s.key, s.loss_db, s.epoch_a, s.epoch_b);
+        }
+      }
+    }
+  }
+  // Fibonacci-style multiplicative hash; the high bits carry the mix.
+  const std::size_t mask = path_loss_slots_.size() - 1;
+  std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (path_loss_slots_[i].key != kEmptySlotKey && path_loss_slots_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  if (path_loss_slots_[i].key == kEmptySlotKey) ++path_loss_used_;
+  path_loss_slots_[i] = PathLossSlot{key, loss, ea, eb};
+}
 
 double Medium::path_loss_db(NodeId a, NodeId b) const {
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
   const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
-  const std::uint32_t ea = nodes_[lo].position_epoch;
-  const std::uint32_t eb = nodes_[hi].position_epoch;
-  auto it = path_loss_cache_.find(key);
-  if (it != path_loss_cache_.end() && it->second.epoch_a == ea &&
-      it->second.epoch_b == eb) {
-    return it->second.loss_db;
+  const std::uint32_t ea = position_epochs_[lo];
+  const std::uint32_t eb = position_epochs_[hi];
+  if (!path_loss_slots_.empty()) {
+    const std::size_t mask = path_loss_slots_.size() - 1;
+    std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 32;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (path_loss_slots_[i].key != kEmptySlotKey) {
+      const PathLossSlot& s = path_loss_slots_[i];
+      if (s.key == key) {
+        if (s.epoch_a == ea && s.epoch_b == eb) return s.loss_db;
+        break;  // stale entry: recompute and overwrite below
+      }
+      i = (i + 1) & mask;
+    }
   }
   // Same expression as Channel::rx_power_dbm's loss term, so cached and
   // uncached paths produce bit-identical powers.
   const double loss =
-      channel_.rx_power_dbm(0.0, distance_m(nodes_[lo].position, nodes_[hi].position));
-  if (path_loss_cache_.size() >= kMaxPathLossEntries) path_loss_cache_.clear();
-  path_loss_cache_[key] = PathLossEntry{loss, ea, eb};
+      channel_.rx_power_dbm(0.0, distance_m(node_position(lo), node_position(hi)));
+  path_loss_store(key, loss, ea, eb);
   return loss;
 }
 
 double Medium::rx_power_at(const ActiveTx& tx, NodeId listener) const {
+  if (tx.remote) {
+    // Phantom: the origin node is not attached here, so compute from the
+    // snapshot directly (no per-pair cache entry to key it by). The model
+    // is the same expression the cache stores, shifted by TX power.
+    return channel_.rx_power_dbm(tx.tx_power_dbm,
+                                 distance_m(tx.origin, node_position(listener)));
+  }
   // path_loss_db returns rx power for a 0 dBm transmitter; shift by the
   // actual TX power (the model is linear in dB).
   return tx.tx_power_dbm + path_loss_db(tx.transmitter, listener);
@@ -112,39 +168,61 @@ double Medium::audible_range_m(double tx_power_dbm) const {
 }
 
 bool Medium::carrier_busy(NodeId listener) const {
-  const NodeEntry& me = nodes_.at(listener);
-  if (me.transmitting) return true;
+  check_id(listener);
+  if (node_flags_[listener] & kFlagTransmitting) return true;
+  const Position me = node_position(listener);
   for (const auto& tx : active_) {
-    if (tx.transmitter == listener) continue;
+    if (!tx.remote && tx.transmitter == listener) continue;
     // Cheap pre-filter: beyond the audible radius the exact check below
     // cannot pass (the radius is computed with slack).
-    if (distance_m(nodes_[tx.transmitter].position, me.position) > tx.audible_range_m) {
-      continue;
-    }
+    if (distance_m(tx_origin(tx), me) > tx.audible_range_m) continue;
     if (rx_power_at(tx, listener) >= kCarrierSenseDbm) return true;
   }
   return false;
 }
 
-bool Medium::transmitting(NodeId id) const { return nodes_.at(id).transmitting; }
-
-void Medium::set_rx_blocked(NodeId id, bool blocked) { nodes_.at(id).rx_blocked = blocked; }
-
-bool Medium::rx_blocked(NodeId id) const { return nodes_.at(id).rx_blocked; }
-
-void Medium::set_node_loss_floor(NodeId id, double p) {
-  assert(std::isfinite(p) && "Medium::set_node_loss_floor: non-finite floor");
-  nodes_.at(id).loss_floor = std::isfinite(p) ? std::clamp(p, 0.0, 1.0) : 0.0;
+bool Medium::transmitting(NodeId id) const {
+  check_id(id);
+  return (node_flags_[id] & kFlagTransmitting) != 0;
 }
 
-double Medium::node_loss_floor(NodeId id) const { return nodes_.at(id).loss_floor; }
+void Medium::set_rx_blocked(NodeId id, bool blocked) {
+  check_id(id);
+  if (blocked) {
+    node_flags_[id] |= kFlagRxBlocked;
+  } else {
+    node_flags_[id] &= static_cast<std::uint8_t>(~kFlagRxBlocked);
+  }
+}
+
+bool Medium::rx_blocked(NodeId id) const {
+  check_id(id);
+  return (node_flags_[id] & kFlagRxBlocked) != 0;
+}
+
+void Medium::set_node_loss_floor(NodeId id, double p) {
+  check_id(id);
+  assert(std::isfinite(p) && "Medium::set_node_loss_floor: non-finite floor");
+  const double clamped = std::isfinite(p) ? std::clamp(p, 0.0, 1.0) : 0.0;
+  if (clamped > 0.0) {
+    node_loss_floors_[id] = clamped;
+  } else {
+    node_loss_floors_.erase(id);  // keep the map empty-checkable on the hot path
+  }
+}
+
+double Medium::node_loss_floor(NodeId id) const {
+  check_id(id);
+  auto it = node_loss_floors_.find(id);
+  return it == node_loss_floors_.end() ? 0.0 : it->second;
+}
 
 void Medium::transmit(NodeId transmitter, TxRequest request) {
-  NodeEntry& node = nodes_.at(transmitter);
-  if (node.transmitting) {
+  check_id(transmitter);
+  if (node_flags_[transmitter] & kFlagTransmitting) {
     throw std::logic_error("Medium::transmit: node already transmitting");
   }
-  node.transmitting = true;
+  node_flags_[transmitter] |= kFlagTransmitting;
   ++stats_.transmissions;
 
   ActiveTx tx;
@@ -154,16 +232,37 @@ void Medium::transmit(NodeId transmitter, TxRequest request) {
   tx.end = tx.start + request.airtime;
   tx.tx_power_dbm = request.tx_power_dbm;
   tx.audible_range_m = audible_range_m(request.tx_power_dbm);
+  tx.origin = node_position(transmitter);
   tx.mpdu = FrameBuffer{std::move(request.mpdu)};  // one allocation per TX
   tx.airtime = request.airtime;
   tx.rate = request.rate;
   tx.on_complete = std::move(request.on_complete);
 
   // Record mutual interference with everything already in the air.
-  // Receiver-side audibility is judged at delivery time.
+  // Receiver-side audibility is judged at delivery time. Remote entries
+  // propagate their position snapshot; local ones resolve live.
   for (auto& other : active_) {
-    other.interferers.push_back({transmitter, request.tx_power_dbm});
-    tx.interferers.push_back({other.transmitter, other.tx_power_dbm});
+    other.interferers.push_back({transmitter, request.tx_power_dbm, false, tx.origin});
+    tx.interferers.push_back(
+        {other.transmitter, other.tx_power_dbm, other.remote, other.origin});
+  }
+
+  // Boundary detection for the sharded engine: if the audible circle
+  // pokes outside this shard's owned x-span, neighbors must mirror it.
+  if (span_set_ && boundary_hook_ &&
+      (tx.origin.x_m - tx.audible_range_m < span_x0_m_ ||
+       tx.origin.x_m + tx.audible_range_m >= span_x1_m_)) {
+    RemoteTx rtx;
+    rtx.origin_node = transmitter;
+    rtx.origin = tx.origin;
+    rtx.start = tx.start;
+    rtx.end = tx.end;
+    rtx.tx_power_dbm = tx.tx_power_dbm;
+    rtx.audible_range_m = tx.audible_range_m;
+    rtx.mpdu = tx.mpdu;  // refcount bump; bytes shared across shards
+    rtx.airtime = tx.airtime;
+    rtx.rate = tx.rate;
+    boundary_hook_(rtx);
   }
 
   const std::uint64_t tx_id = tx.id;
@@ -173,6 +272,34 @@ void Medium::transmit(NodeId transmitter, TxRequest request) {
   // {this, tx_id} fits the scheduler's inline storage: scheduling the
   // completion allocates nothing.
   scheduler_.schedule_at(end, [this, tx_id] { finish_transmission(tx_id); });
+}
+
+void Medium::inject_remote(const RemoteTx& rtx) {
+  ActiveTx tx;
+  tx.id = next_tx_id_++;
+  tx.transmitter = rtx.origin_node;
+  tx.remote = true;
+  tx.origin = rtx.origin;
+  tx.start = rtx.start;
+  tx.end = rtx.end;
+  tx.tx_power_dbm = rtx.tx_power_dbm;
+  tx.audible_range_m = rtx.audible_range_m;
+  tx.mpdu = rtx.mpdu;
+  tx.airtime = rtx.airtime;
+  tx.rate = rtx.rate;
+
+  for (auto& other : active_) {
+    other.interferers.push_back({tx.transmitter, tx.tx_power_dbm, true, tx.origin});
+    tx.interferers.push_back(
+        {other.transmitter, other.tx_power_dbm, other.remote, other.origin});
+  }
+
+  const std::uint64_t tx_id = tx.id;
+  // The frame may have ended before the barrier shipped it; deliver at
+  // injection time then (never schedule into the past).
+  const TimePoint fire = std::max(tx.end, scheduler_.now());
+  active_.push_back(std::move(tx));
+  scheduler_.schedule_at(fire, [this, tx_id] { finish_transmission(tx_id); });
 }
 
 void Medium::finish_transmission(std::uint64_t tx_id) {
@@ -186,11 +313,14 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
   ActiveTx done = std::move(active_[i]);
   if (i + 1 != active_.size()) active_[i] = std::move(active_.back());
   active_.pop_back();
-  nodes_.at(done.transmitter).transmitting = false;
+  if (!done.remote) {
+    node_flags_[done.transmitter] &= static_cast<std::uint8_t>(~kFlagTransmitting);
+  }
 
   // The transmitter's completion runs before receiver delivery: the
   // radio returns to RX at the end of its own airtime, and responses
-  // (ACKs) can only arrive afterwards.
+  // (ACKs) can only arrive afterwards. Phantoms have no local
+  // transmitter, hence no completion.
   if (done.on_complete) done.on_complete();
   deliver(done);
 }
@@ -201,11 +331,12 @@ void Medium::deliver(const ActiveTx& tx) {
   // order as the dense scan (bit-for-bit equivalence between modes).
   std::vector<NodeId>& candidates = delivery_scratch_;
   candidates.clear();
+  const Position origin = tx_origin(tx);
   if (grid_enabled_) {
-    collect_in_range(nodes_[tx.transmitter].position, tx.audible_range_m, candidates);
+    collect_in_range(origin, tx.audible_range_m, candidates);
     std::sort(candidates.begin(), candidates.end());
   } else {
-    candidates.resize(nodes_.size());
+    candidates.resize(clients_.size());
     std::iota(candidates.begin(), candidates.end(), NodeId{0});
   }
 
@@ -215,11 +346,12 @@ void Medium::deliver(const ActiveTx& tx) {
   frame.airtime = tx.airtime;
   frame.rate = tx.rate;
 
+  const bool any_node_floor = !node_loss_floors_.empty();
+
   for (const NodeId receiver : candidates) {
-    if (receiver == tx.transmitter) continue;
-    const NodeEntry& node = nodes_[receiver];
-    if (node.rx_blocked) continue;  // injected radio deafness
-    if (!node.client->rx_enabled()) continue;
+    if (!tx.remote && receiver == tx.transmitter) continue;
+    if (node_flags_[receiver] & kFlagRxBlocked) continue;  // injected deafness
+    if (!clients_[receiver]->rx_enabled()) continue;
 
     const double rx_power = rx_power_at(tx, receiver);
     if (rx_power < kCarrierSenseDbm) continue;  // below detection: silence
@@ -228,22 +360,23 @@ void Medium::deliver(const ActiveTx& tx) {
     frame.snr_db = rx_power - channel_.config().noise_floor_dbm - noise_offset_db_;
 
     // Collision: any overlapping transmission audible at this receiver.
+    const Position rx_pos = node_position(receiver);
     bool collided = false;
     for (const auto& intf : tx.interferers) {
-      if (intf.transmitter == receiver) {
+      if (!intf.remote && intf.transmitter == receiver) {
         collided = true;  // receiver was itself transmitting during overlap
         break;
       }
-      const double d =
-          distance_m(nodes_[intf.transmitter].position, nodes_[receiver].position);
-      if (channel_.rx_power_dbm(intf.tx_power_dbm, d) >= kCarrierSenseDbm) {
+      const Position ip = intf.remote ? intf.origin : node_position(intf.transmitter);
+      if (channel_.rx_power_dbm(intf.tx_power_dbm, distance_m(ip, rx_pos)) >=
+          kCarrierSenseDbm) {
         collided = true;
         break;
       }
     }
     if (collided) {
       ++stats_.collision_losses;
-      node.client->on_corrupt_frame(frame, /*collision=*/true);
+      clients_[receiver]->on_corrupt_frame(frame, /*collision=*/true);
       continue;
     }
 
@@ -256,21 +389,24 @@ void Medium::deliver(const ActiveTx& tx) {
     // regardless of SNR (union of the two independent loss processes).
     // The per-node floor stacks the same way, but only when set — the
     // composed expression is not bit-identical to the global-only one
-    // at node.loss_floor == 0, and digest-pinned determinism tests
-    // require the legacy path untouched.
+    // at a zero node floor, and digest-pinned determinism tests require
+    // the legacy path untouched.
     double floor = loss_floor_;
-    if (node.loss_floor > 0.0) {
-      floor = 1.0 - (1.0 - floor) * (1.0 - node.loss_floor);
+    if (any_node_floor) {
+      auto it = node_loss_floors_.find(receiver);
+      if (it != node_loss_floors_.end() && it->second > 0.0) {
+        floor = 1.0 - (1.0 - floor) * (1.0 - it->second);
+      }
     }
     per = floor + (1.0 - floor) * per;
     if (rng_.chance(per)) {
       ++stats_.channel_losses;
-      node.client->on_corrupt_frame(frame, /*collision=*/false);
+      clients_[receiver]->on_corrupt_frame(frame, /*collision=*/false);
       continue;
     }
 
     ++stats_.deliveries;
-    node.client->on_frame(frame);
+    clients_[receiver]->on_frame(frame);
   }
 }
 
@@ -280,8 +416,9 @@ void Medium::publish_metrics(telemetry::MetricsRegistry& registry,
   registry.bind_counter(prefix + ".deliveries", &stats_.deliveries);
   registry.bind_counter(prefix + ".collision_losses", &stats_.collision_losses);
   registry.bind_counter(prefix + ".channel_losses", &stats_.channel_losses);
-  registry.bind_counter_fn(prefix + ".nodes",
-                           [this] { return static_cast<std::uint64_t>(nodes_.size()); });
+  registry.bind_counter_fn(prefix + ".nodes", [this] {
+    return static_cast<std::uint64_t>(clients_.size());
+  });
   registry.bind_gauge(prefix + ".noise_offset_db", &noise_offset_db_);
   registry.bind_gauge(prefix + ".per_multiplier", &per_multiplier_);
   registry.bind_gauge(prefix + ".loss_floor", &loss_floor_);

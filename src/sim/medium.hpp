@@ -13,13 +13,34 @@
 // carrier sense) only visits cells within the maximum audible radius
 // for the TX power — derived by inverting Channel::rx_power_dbm down
 // to the carrier-sense floor — instead of every attached node. Path
-// loss between static nodes is cached per pair, and the frame payload
-// is a refcounted FrameBuffer shared by all receivers, so one
-// transmission heard by a thousand radios performs zero payload copies.
-// Candidate receivers are visited in ascending NodeId order either way,
-// so the RNG draw sequence — and therefore every simulation outcome —
-// is bit-for-bit identical with the spatial grid on or off (the dense
-// path survives as the equivalence oracle; see tests/test_determinism).
+// loss between static nodes is cached per pair in a flat open-addressed
+// table (no per-entry allocation, linear probing over one contiguous
+// array), and the frame payload is a refcounted FrameBuffer shared by
+// all receivers, so one transmission heard by a thousand radios
+// performs zero payload copies. Candidate receivers are visited in
+// ascending NodeId order either way, so the RNG draw sequence — and
+// therefore every simulation outcome — is bit-for-bit identical with
+// the spatial grid on or off (the dense path survives as the
+// equivalence oracle; see tests/test_determinism).
+//
+// Per-node hot state is structure-of-arrays: position coordinates,
+// path-loss epochs and radio flag bytes live in parallel contiguous
+// vectors rather than one array-of-structs, so the delivery and
+// carrier-sense loops touch only the columns they read (a collision
+// scan streams positions at 16 B/node instead of dragging a 56 B
+// struct through cache) and a million-node fleet costs ~25 B/node of
+// medium state. Rarely-set state (per-node loss floors) is a sparse
+// side map guarded by an emptiness check so unimpaired fleets never
+// pay the lookup.
+//
+// Sharded operation (sim/parallel.hpp): a Medium can be told the x-span
+// it owns via set_owned_span(); transmissions whose audible circle
+// pokes outside that span are handed to the boundary hook, and
+// transmissions originated by *other* shards enter through
+// inject_remote() as position-snapshot phantoms that participate in
+// carrier sense, collision interference and delivery exactly like
+// local ones — but own no local node, so they never flip local
+// transmit flags and never fire a completion callback.
 #pragma once
 
 #include <algorithm>
@@ -95,6 +116,23 @@ struct TxRequest {
   std::function<void()> on_complete;
 };
 
+/// A transmission crossing a shard boundary, as shipped between shards
+/// by the parallel engine. Carries a position snapshot because the
+/// origin node is not attached to the receiving shard's Medium; the
+/// FrameBuffer is refcounted (atomic), so the payload bytes are shared
+/// across shards with zero copies.
+struct RemoteTx {
+  NodeId origin_node{};  ///< id in the ORIGIN shard's node space
+  Position origin;       ///< transmitter position at TX start
+  TimePoint start{};
+  TimePoint end{};
+  double tx_power_dbm = 0.0;
+  double audible_range_m = 0.0;
+  FrameBuffer mpdu;
+  Duration airtime{};
+  std::optional<phy::WifiRate> rate;
+};
+
 class Medium {
  public:
   Medium(Scheduler& scheduler, phy::Channel channel, Rng rng);
@@ -131,6 +169,36 @@ class Medium {
 
   [[nodiscard]] const phy::Channel& channel() const { return channel_; }
 
+  // --- sharding hooks (driven by sim::ParallelEngine) ------------------------
+
+  /// Declare the x-span [x0, x1) this medium's shard owns. Once set,
+  /// transmit() tests every transmission's audible circle against the
+  /// span and hands escapees to the boundary hook for cross-shard
+  /// routing. Unset (the default) = the medium owns all of space and
+  /// nothing ever crosses.
+  void set_owned_span(double x0_m, double x1_m) {
+    span_x0_m_ = x0_m;
+    span_x1_m_ = x1_m;
+    span_set_ = true;
+  }
+
+  /// Called from transmit() for every boundary-crossing transmission,
+  /// with a position-snapshot RemoteTx ready to ship. The hook runs on
+  /// the shard's own thread; routing/queueing is the caller's problem.
+  void set_boundary_hook(std::function<void(const RemoteTx&)> hook) {
+    boundary_hook_ = std::move(hook);
+  }
+
+  /// Inject a transmission originated by another shard. The phantom
+  /// participates in carrier sense, collision interference and delivery
+  /// to local nodes; it owns no local node (no transmit flag, no
+  /// completion callback) and does not count in stats().transmissions —
+  /// the origin shard already counted it. Delivery fires at
+  /// max(end, now): a frame whose airtime already elapsed by the time
+  /// the window barrier shipped it delivers at injection time, which is
+  /// the conservative-window quantization DESIGN.md §13 documents.
+  void inject_remote(const RemoteTx& rtx);
+
   // --- impairment hooks (driven by sim::FaultInjector) -----------------------
   // These model time-varying channel degradation without touching the
   // Channel's calibration: an interference-driven noise-floor rise, a
@@ -165,7 +233,8 @@ class Medium {
   /// independent loss process (1 - (1-global)(1-node)). Models a single
   /// device behind drywall or with a detuned antenna; FaultInjector's
   /// per-device floor windows drive this. Same NaN hardening as
-  /// set_loss_floor.
+  /// set_loss_floor. Stored sparsely: fleets with no impaired node pay
+  /// one emptiness check per delivery, not a per-node column.
   void set_node_loss_floor(NodeId id, double p);
   [[nodiscard]] double node_loss_floor(NodeId id) const;
 
@@ -190,6 +259,7 @@ class Medium {
     std::uint64_t deliveries = 0;
     std::uint64_t collision_losses = 0;
     std::uint64_t channel_losses = 0;
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -198,6 +268,9 @@ class Medium {
   /// leak oracle: once the channel is idle, no payload buffers other
   /// than those owned by active transmissions may remain alive.
   [[nodiscard]] std::size_t active_transmissions() const { return active_.size(); }
+
+  /// Attached node count (SoA columns all share this length).
+  [[nodiscard]] std::size_t node_count() const { return clients_.size(); }
 
   /// Register this medium's counters with a telemetry registry under
   /// `prefix` ("medium.transmissions", ...). The registry binds pointers
@@ -210,6 +283,12 @@ class Medium {
   struct Interferer {
     NodeId transmitter{};
     double tx_power_dbm = 0.0;
+    /// Remote interferers carry a position snapshot (their node lives in
+    /// another shard); local ones resolve position at delivery time so a
+    /// node that moved mid-flight interferes from where it is — the
+    /// serial semantics the determinism digests pin.
+    bool remote = false;
+    Position origin;
   };
 
   struct ActiveTx {
@@ -221,6 +300,11 @@ class Medium {
     /// Conservative upper bound on how far this TX is audible (grid
     /// query radius and carrier-sense pre-filter).
     double audible_range_m = 0.0;
+    /// Phantom mirrored from another shard: `transmitter` is an id in
+    /// the ORIGIN shard's space and `origin` is the authoritative
+    /// position; identity comparisons against local ids are skipped.
+    bool remote = false;
+    Position origin;
     // The request, moved in at transmit() so the completion event
     // captures only {this, id} (fits the scheduler's inline storage)
     // and delivery never copies it.
@@ -232,17 +316,6 @@ class Medium {
     std::vector<Interferer> interferers;
   };
 
-  struct NodeEntry {
-    MediumClient* client = nullptr;
-    Position position;
-    bool transmitting = false;
-    bool rx_blocked = false;
-    /// Bumped on set_position; invalidates cached path losses.
-    std::uint32_t position_epoch = 0;
-    /// Per-node erasure floor (set_node_loss_floor); 0 = none.
-    double loss_floor = 0.0;
-  };
-
   void finish_transmission(std::uint64_t tx_id);
   void deliver(const ActiveTx& tx);
   [[nodiscard]] double rx_power_at(const ActiveTx& tx, NodeId listener) const;
@@ -250,6 +323,20 @@ class Medium {
   /// moves (static fleets pay the log10 once per pair).
   [[nodiscard]] double path_loss_db(NodeId a, NodeId b) const;
   [[nodiscard]] double audible_range_m(double tx_power_dbm) const;
+
+  // --- SoA node state --------------------------------------------------------
+  static constexpr std::uint8_t kFlagTransmitting = 1u << 0;
+  static constexpr std::uint8_t kFlagRxBlocked = 1u << 1;
+
+  void check_id(NodeId id) const {
+    if (id >= clients_.size()) throw std::out_of_range("Medium: bad NodeId");
+  }
+  [[nodiscard]] Position node_position(NodeId id) const {
+    return Position{pos_x_[id], pos_y_[id]};
+  }
+  [[nodiscard]] Position tx_origin(const ActiveTx& tx) const {
+    return tx.remote ? tx.origin : node_position(tx.transmitter);
+  }
 
   // --- spatial grid ----------------------------------------------------------
   [[nodiscard]] std::int32_t cell_coord(double meters) const;
@@ -264,7 +351,19 @@ class Medium {
   Scheduler& scheduler_;
   phy::Channel channel_;
   Rng rng_;
-  std::vector<NodeEntry> nodes_;
+
+  // Node state columns, indexed by NodeId. Parallel vectors instead of
+  // a struct vector: the delivery/CCA hot loops stream only positions
+  // and flags, and each column is one contiguous arena-style slab.
+  std::vector<MediumClient*> clients_;
+  std::vector<double> pos_x_;
+  std::vector<double> pos_y_;
+  /// Bumped on set_position; invalidates cached path losses.
+  std::vector<std::uint32_t> position_epochs_;
+  std::vector<std::uint8_t> node_flags_;
+  /// Sparse: only nodes with a floor set appear (see set_node_loss_floor).
+  std::unordered_map<NodeId, double> node_loss_floors_;
+
   std::vector<ActiveTx> active_;  // includes transmissions ending this instant
   std::uint64_t next_tx_id_ = 1;
   Stats stats_;
@@ -272,20 +371,37 @@ class Medium {
   double per_multiplier_ = 1.0;
   double loss_floor_ = 0.0;
 
+  bool span_set_ = false;
+  double span_x0_m_ = 0.0;
+  double span_x1_m_ = 0.0;
+  std::function<void(const RemoteTx&)> boundary_hook_;
+
   bool grid_enabled_ = true;
   double cell_size_m_ = 25.0;  // set from the channel in the ctor
   std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
   std::vector<NodeId> delivery_scratch_;
 
-  struct PathLossEntry {
+  // --- flat path-loss cache --------------------------------------------------
+  // Open-addressed, linear probing, power-of-two capacity. Replaces the
+  // unordered_map the seed used: no per-entry heap node (24 B/slot flat
+  // vs ~56 B/entry + allocator overhead), and the probe walks one cache
+  // line instead of chasing a bucket list. Keyed by (lo_id<<32 | hi_id);
+  // lo < hi always (callers never ask for a self-loss), so the all-ones
+  // key can serve as the empty sentinel. Doubles until
+  // kMaxPathLossSlots, then clears wholesale like the seed did.
+  struct PathLossSlot {
+    std::uint64_t key = kEmptySlotKey;
     double loss_db = 0.0;
     std::uint32_t epoch_a = 0;
     std::uint32_t epoch_b = 0;
   };
-  /// Keyed by (lo_id << 32 | hi_id); bounded — cleared wholesale when it
-  /// would exceed kMaxPathLossEntries.
-  static constexpr std::size_t kMaxPathLossEntries = 1u << 22;
-  mutable std::unordered_map<std::uint64_t, PathLossEntry> path_loss_cache_;
+  static constexpr std::uint64_t kEmptySlotKey = ~std::uint64_t{0};
+  static constexpr std::size_t kInitialPathLossSlots = 1u << 12;
+  static constexpr std::size_t kMaxPathLossSlots = 1u << 22;
+  void path_loss_store(std::uint64_t key, double loss, std::uint32_t ea,
+                       std::uint32_t eb) const;
+  mutable std::vector<PathLossSlot> path_loss_slots_;
+  mutable std::size_t path_loss_used_ = 0;
 };
 
 }  // namespace wile::sim

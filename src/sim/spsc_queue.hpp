@@ -1,0 +1,141 @@
+// Lock-free single-producer / single-consumer queue, used as the
+// cross-shard mailbox in the parallel engine (sim/parallel.hpp).
+//
+// Shape: a linked chain of fixed-capacity ring segments (Lamport ring
+// per segment, new segment appended when the current one fills). The
+// common case — boundary traffic fits one segment — is wait-free with
+// two atomic ops per push/pop and zero allocation; the overflow case
+// allocates a segment on the producer side instead of spinning, which
+// matters here because the consumer only drains at window barriers: a
+// bounded ring whose producer spins on full would deadlock the barrier
+// (producer can't arrive, consumer won't drain until it does).
+//
+// Memory ordering: the producer publishes a slot with a release store
+// of `tail`; the consumer acquires `tail` before reading the slot. The
+// segment link is published the same way (release `next`, acquire on
+// follow). `head` is consumer-private, `tail`'s index is producer-
+// private — neither thread ever writes the other's cursor, which is
+// what makes the queue SPSC rather than MPMC.
+//
+// The parallel engine additionally separates push (window k) and pop
+// (window k+1) with a barrier, so in practice the atomics are belt and
+// braces — but the queue is correct under genuine concurrency, and the
+// threaded stress test in tests/test_parallel exercises it that way.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wile::sim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `segment_capacity` must be a power of two (slots per ring segment).
+  explicit SpscQueue(std::size_t segment_capacity = 1024)
+      : capacity_(segment_capacity) {
+    head_seg_ = tail_seg_ = new Segment(capacity_);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Segment* s = head_seg_;
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+
+  /// Producer side only. Never blocks; appends a fresh segment when the
+  /// current one is full.
+  void push(T value) {
+    Segment* seg = tail_seg_;
+    const std::size_t t = seg->tail.load(std::memory_order_relaxed);
+    if (t - seg->head_cache == capacity_) {
+      // Ring full from the producer's view; refresh the consumer cursor
+      // once before giving up on this segment (cheap vs. allocating).
+      seg->head_cache = seg->consumed.load(std::memory_order_acquire);
+      if (t - seg->head_cache == capacity_) {
+        auto* fresh = new Segment(capacity_);
+        segments_.fetch_add(1, std::memory_order_relaxed);
+        seg->next.store(fresh, std::memory_order_release);
+        tail_seg_ = seg = fresh;
+      }
+    }
+    const std::size_t slot_tail = seg->tail.load(std::memory_order_relaxed);
+    seg->slots[slot_tail & (capacity_ - 1)] = std::move(value);
+    seg->tail.store(slot_tail + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumer side only. Returns false when empty.
+  bool try_pop(T& out) {
+    Segment* seg = head_seg_;
+    while (true) {
+      const std::size_t t = seg->tail.load(std::memory_order_acquire);
+      if (seg->head != t) {
+        out = std::move(seg->slots[seg->head & (capacity_ - 1)]);
+        ++seg->head;
+        seg->consumed.store(seg->head, std::memory_order_release);
+        popped_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Segment drained; follow the chain if the producer moved on.
+      Segment* next = seg->next.load(std::memory_order_acquire);
+      if (next == nullptr) return false;
+      head_seg_ = next;
+      delete seg;  // producer abandoned it before publishing `next`
+      seg = next;
+    }
+  }
+
+  /// Consumer-side convenience: append everything currently visible.
+  std::size_t drain_into(std::vector<T>& out) {
+    std::size_t n = 0;
+    T item;
+    while (try_pop(item)) {
+      out.push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  // Relaxed telemetry counters; exact once producer/consumer are
+  // quiescent (the engine reads them after joining its workers).
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+  /// Overflow segments allocated beyond the initial one.
+  [[nodiscard]] std::uint64_t overflow_segments() const {
+    return segments_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Segment {
+    explicit Segment(std::size_t cap) : slots(cap) {}
+    std::vector<T> slots;
+    std::atomic<std::size_t> tail{0};      // producer writes, consumer reads
+    std::atomic<std::size_t> consumed{0};  // consumer writes, producer reads
+    std::size_t head = 0;                  // consumer-private cursor
+    std::size_t head_cache = 0;            // producer-private snapshot of consumed
+    std::atomic<Segment*> next{nullptr};
+  };
+
+  const std::size_t capacity_;
+  Segment* head_seg_;  // consumer-private
+  Segment* tail_seg_;  // producer-private
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> segments_{0};
+};
+
+}  // namespace wile::sim

@@ -25,6 +25,17 @@ ScenarioBuilder& ScenarioBuilder::payload(Bytes fixed) {
 
 std::unique_ptr<Scenario> ScenarioBuilder::build() const {
   if (n_devices_ < 0) throw std::invalid_argument("ScenarioBuilder: devices < 0");
+  if (threads_ > 0) {
+    // These subsystems hold a reference to THE scheduler/medium and run
+    // unsynchronized callbacks; the sharded engine has neither a single
+    // core nor a single thread. Reject at build time, loudly.
+    if (trace_ || sample_period_ || configure_faults_) {
+      throw std::invalid_argument(
+          "ScenarioBuilder: trace/sample_every/configure_faults require the "
+          "serial engine (threads(0))");
+    }
+    if (shards_ == 0) throw std::invalid_argument("ScenarioBuilder: shards == 0");
+  }
   // Scenario's constructor is private; go through new directly.
   return std::unique_ptr<Scenario>(new Scenario(*this));
 }
@@ -36,6 +47,10 @@ Scenario::Scenario(const ScenarioBuilder& b)
       // injector's rng must not alias theirs.
       fault_seed_(b.master_seed_ ^ 0x0FA1'7000),
       user_on_message_(b.on_message_) {
+  if (b.threads_ > 0) {
+    build_parallel(b);
+    return;
+  }
   if (b.loss_floor_) medium_.set_loss_floor(*b.loss_floor_);
   tracer_.set_max_events(b.trace_max_events_);
   tracer_.set_enabled(b.trace_);
@@ -169,9 +184,234 @@ Scenario::Scenario(const ScenarioBuilder& b)
   }
 }
 
+// Sharded build path. Deliberately mirrors the serial loop line for
+// line — same SenderConfig defaults, same master.fork() per device in
+// index order, same staggered start times — so the only difference is
+// WHICH event core each node attaches to. Shard assignment is a pure
+// function of position and shard count, never of thread count, which
+// is what makes digests comparable across threads={1,2,4}.
+void Scenario::build_parallel(const ScenarioBuilder& b) {
+  const int n = b.n_devices_;
+  const std::size_t n_shards = b.shards_;
+  const int side =
+      n > 0 ? static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) : 1;
+  const double extent = std::max(side * b.spacing_m_, 1.0);
+  const auto period_us =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     b.period_)
+                                     .count());
+
+  // Per-shard event cores. The medium RNG master forks once per shard
+  // in shard order: every shard draws an independent loss/PER stream,
+  // and the set of streams depends only on the shard count.
+  Rng medium_master{b.medium_seed_};
+  shard_runtimes_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    ShardRuntime rt;
+    rt.scheduler = std::make_unique<Scheduler>();
+    rt.medium = std::make_unique<Medium>(*rt.scheduler, phy::Channel{b.channel_},
+                                         medium_master.fork());
+    if (b.loss_floor_) rt.medium->set_loss_floor(*b.loss_floor_);
+    shard_runtimes_.push_back(std::move(rt));
+  }
+
+  // Stripe partition for node assignment; the engine below builds its
+  // router over the same [0, extent) so spans and assignment agree.
+  ShardRouter partition{n_shards, 0.0, extent};
+
+  Rng master{b.master_seed_};
+  senders_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::SenderConfig cfg;
+    cfg.device_id = static_cast<std::uint32_t>(i + 1);
+    cfg.period = b.period_;
+    cfg.wake_jitter = b.wake_jitter_;
+    cfg.timeline_max_segments = b.timeline_max_segments_;
+    if (b.harvesting_) cfg.harvesting = b.harvesting_;
+    if (b.configure_sender_) b.configure_sender_(cfg, i);
+
+    const Position pos = b.place_device_
+                             ? b.place_device_(i)
+                             : Position{(i % side) * b.spacing_m_,
+                                        (i / side) * b.spacing_m_};
+    Rng forked = master.fork();
+    Rng rng = b.device_rng_ ? b.device_rng_(i) : std::move(forked);
+    ShardRuntime& rt = shard_runtimes_[partition.shard_of(pos.x_m)];
+    senders_.push_back(std::make_unique<core::Sender>(*rt.scheduler, *rt.medium,
+                                                      pos, cfg, std::move(rng)));
+    core::Sender* s = senders_.back().get();
+
+    if (!b.auto_start_) continue;
+    core::Sender::PayloadProvider provider =
+        b.make_provider_ ? b.make_provider_(i)
+                         : [] { return Bytes(16, 0xA5); };
+    core::Sender::SendCallback per_cycle;
+    if (b.on_send_report_) {
+      per_cycle = [fn = b.on_send_report_, i](const core::SendReport& r) {
+        fn(i, r);
+      };
+    }
+    if (b.stagger_) {
+      const auto start_us = static_cast<std::int64_t>(
+          (static_cast<std::uint64_t>(i) * period_us) /
+          static_cast<std::uint64_t>(n));
+      rt.scheduler->schedule_at(
+          TimePoint{usec(start_us)},
+          [s, provider = std::move(provider), per_cycle = std::move(per_cycle)] {
+            s->start_duty_cycle(std::move(provider), std::move(per_cycle));
+          });
+    } else {
+      s->start_duty_cycle(std::move(provider), std::move(per_cycle));
+    }
+  }
+
+  const int n_gw = b.n_gateways_
+                       ? *b.n_gateways_
+                       : (n > 0 ? std::max(1, n / std::max(1, b.gateway_every_)) : 0);
+  receivers_.reserve(static_cast<std::size_t>(n_gw));
+  for (int k = 0; k < n_gw; ++k) {
+    core::ReceiverConfig cfg;
+    if (b.configure_gateway_) b.configure_gateway_(cfg, k);
+    const double c = (k + 0.5) * extent / n_gw;  // along the diagonal
+    const Position pos = b.place_gateway_ ? b.place_gateway_(k) : Position{c, c};
+    ShardRuntime& rt = shard_runtimes_[partition.shard_of(pos.x_m)];
+    receivers_.push_back(
+        std::make_unique<core::Receiver>(*rt.scheduler, *rt.medium, pos, cfg));
+    // Count into the owning shard's tally: the callback runs on that
+    // shard's worker thread, and per-shard counters need no atomics.
+    receivers_.back()->set_message_callback(
+        [this, counter = &rt.messages](const core::Message& msg,
+                                       const core::RxMeta& meta) {
+          ++*counter;
+          if (user_on_message_) user_on_message_(msg, meta);
+        });
+  }
+
+  std::vector<ParallelEngine::Shard> shards;
+  shards.reserve(n_shards);
+  for (auto& rt : shard_runtimes_) {
+    shards.push_back(ParallelEngine::Shard{rt.scheduler.get(), rt.medium.get()});
+  }
+  engine_ = std::make_unique<ParallelEngine>(std::move(shards), 0.0, extent,
+                                             b.window_, b.threads_);
+
+  if (!telemetry_enabled_) return;
+
+  // Aggregate bindings keep the serial metric names so every consumer
+  // (export schema, dashboards) reads sharded runs unchanged.
+  registry_.bind_counter_fn("scheduler.events_run", [this] { return events_run(); });
+  registry_.bind_gauge_fn("scheduler.pending_events", [this] {
+    std::size_t pending = 0;
+    for (const auto& rt : shard_runtimes_) pending += rt.scheduler->pending_events();
+    return static_cast<double>(pending);
+  });
+  registry_.bind_gauge_fn("sim.time_us", [this] {
+    return static_cast<double>(now().since_epoch().count());
+  });
+  registry_.bind_counter_fn("medium.transmissions",
+                            [this] { return medium_stats().transmissions; });
+  registry_.bind_counter_fn("medium.deliveries",
+                            [this] { return medium_stats().deliveries; });
+  registry_.bind_counter_fn("medium.collision_losses",
+                            [this] { return medium_stats().collision_losses; });
+  registry_.bind_counter_fn("medium.channel_losses",
+                            [this] { return medium_stats().channel_losses; });
+  registry_.bind_counter_fn("medium.nodes", [this] {
+    std::uint64_t nodes = 0;
+    for (const auto& rt : shard_runtimes_) nodes += rt.medium->node_count();
+    return nodes;
+  });
+  registry_.bind_counter_fn("fleet.messages", [this] { return messages(); });
+  registry_.bind_gauge_fn("fleet.devices",
+                          [this] { return static_cast<double>(senders_.size()); });
+  registry_.bind_gauge_fn("fleet.gateways", [this] {
+    return static_cast<double>(receivers_.size());
+  });
+
+  registry_.bind_gauge_fn("parallel.threads", [this] {
+    return static_cast<double>(engine_->threads());
+  });
+  registry_.bind_gauge_fn("parallel.shards", [this] {
+    return static_cast<double>(shard_runtimes_.size());
+  });
+  registry_.bind_gauge_fn("parallel.window_us", [this] {
+    return static_cast<double>(engine_->window().count());
+  });
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::string prefix = "parallel.shard" + std::to_string(s);
+    registry_.bind_counter_fn(prefix + ".windows",
+                              [this, s] { return engine_->shard_stats()[s].windows; });
+    registry_.bind_counter_fn(prefix + ".barrier_stalls", [this, s] {
+      return engine_->shard_stats()[s].barrier_stalls;
+    });
+    registry_.bind_counter_fn(prefix + ".boundary_tx_in", [this, s] {
+      return engine_->shard_stats()[s].boundary_tx_in;
+    });
+    registry_.bind_counter_fn(prefix + ".boundary_tx_out", [this, s] {
+      return engine_->shard_stats()[s].boundary_tx_out;
+    });
+  }
+
+  if (b.per_node_) {
+    for (auto& s : senders_) {
+      s->publish_metrics(registry_, node_prefix(s->node_id(), "sender"));
+    }
+    for (auto& r : receivers_) {
+      r->publish_metrics(registry_, node_prefix(r->node_id(), "receiver"));
+    }
+  }
+}
+
 Scenario::~Scenario() = default;
 
+void Scenario::require_serial(const char* what) const {
+  if (engine_) {
+    throw std::logic_error(std::string("Scenario: ") + what +
+                           " requires the serial engine (built with threads(0))");
+  }
+}
+
+Scheduler& Scenario::scheduler() {
+  require_serial("scheduler()");
+  return scheduler_;
+}
+
+Medium& Scenario::medium() {
+  require_serial("medium()");
+  return medium_;
+}
+
+std::uint64_t Scenario::events_run() const {
+  if (engine_) return engine_->total_events_run();
+  return scheduler_.events_run();
+}
+
+Medium::Stats Scenario::medium_stats() const {
+  if (engine_) return engine_->total_medium_stats();
+  return medium_.stats();
+}
+
+TimePoint Scenario::now() const {
+  if (engine_) return engine_->now();
+  return scheduler_.now();
+}
+
+std::uint64_t Scenario::messages() const {
+  std::uint64_t total = messages_;
+  for (const auto& rt : shard_runtimes_) total += rt.messages;
+  return total;
+}
+
+void Scenario::run_until(TimePoint deadline) {
+  if (engine_) {
+    engine_->run_until(deadline);
+  } else {
+    scheduler_.run_until(deadline);
+  }
+}
+
 FaultInjector& Scenario::faults() {
+  require_serial("faults()");
   if (!faults_) {
     faults_ = std::make_unique<FaultInjector>(scheduler_, medium_, Rng{fault_seed_});
     if (telemetry_enabled_) faults_->publish_metrics(registry_);
@@ -188,6 +428,7 @@ FaultInjector& Scenario::faults() {
 }
 
 void Scenario::attach_invariants(InvariantMonitor& monitor) {
+  require_serial("attach_invariants()");
   // Scheduler: simulated time and the event counter only move forward.
   monitor.add_monotone_counter("scheduler.time_us", [this] {
     return static_cast<std::uint64_t>(scheduler_.now().since_epoch().count());
@@ -269,6 +510,7 @@ void Scenario::attach_invariants(InvariantMonitor& monitor) {
 }
 
 ChaosTargets Scenario::chaos_targets() {
+  require_serial("chaos_targets()");
   ChaosTargets targets;
   targets.faults = &faults();
   targets.device_nodes.reserve(senders_.size());

@@ -37,6 +37,7 @@
 #include "sim/fault.hpp"
 #include "sim/invariants.hpp"
 #include "sim/medium.hpp"
+#include "sim/parallel.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
@@ -61,11 +62,26 @@ class Scenario {
   ~Scenario();
 
   // --- environment -----------------------------------------------------------
-  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
-  [[nodiscard]] Medium& medium() { return medium_; }
+  /// The single serial scheduler/medium. Throws std::logic_error in
+  /// parallel mode (threads(n>0)): there is no single event core there —
+  /// use the aggregate accessors events_run()/medium_stats()/now(), or
+  /// shard_schedulers()/shard_mediums() for per-shard access.
+  [[nodiscard]] Scheduler& scheduler();
+  [[nodiscard]] Medium& medium();
   /// Lazily constructed on first use (so scenarios that never inject
-  /// faults pay nothing and schedule nothing).
+  /// faults pay nothing and schedule nothing). Serial mode only.
   [[nodiscard]] FaultInjector& faults();
+
+  // --- engine-agnostic aggregates --------------------------------------------
+  // Valid in both modes; benches and tests read these instead of
+  // scheduler()/medium() so the same code drives serial and sharded runs.
+  [[nodiscard]] std::uint64_t events_run() const;
+  [[nodiscard]] Medium::Stats medium_stats() const;
+  [[nodiscard]] TimePoint now() const;
+  /// True when built with threads(n>0): the sharded engine is driving.
+  [[nodiscard]] bool parallel() const { return engine_ != nullptr; }
+  /// Null in serial mode.
+  [[nodiscard]] const ParallelEngine* parallel_engine() const { return engine_.get(); }
 
   // --- chaos harness ---------------------------------------------------------
   /// Wire the standard invariant catalog over this fleet: scheduler
@@ -93,8 +109,9 @@ class Scenario {
   }
   /// Messages delivered across all gateway receivers (deduplicated per
   /// receiver, summed over receivers — matches the legacy benches'
-  /// shared counter).
-  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  /// shared counter). In parallel mode each shard counts its own
+  /// gateways (no cross-thread counter contention) and this sums them.
+  [[nodiscard]] std::uint64_t messages() const;
 
   // --- telemetry -------------------------------------------------------------
   [[nodiscard]] telemetry::MetricsRegistry& metrics() { return registry_; }
@@ -105,7 +122,7 @@ class Scenario {
   [[nodiscard]] const std::vector<telemetry::Snapshot>& samples() const;
   /// Whole-registry snapshot at the current simulated time.
   [[nodiscard]] telemetry::Snapshot snapshot() {
-    return registry_.snapshot(scheduler_.now());
+    return registry_.snapshot(now());
   }
   /// Serialize the scenario's full telemetry state (snapshot + sampler
   /// series + trace summary) in the wile-telemetry-v1 schema.
@@ -113,17 +130,32 @@ class Scenario {
                                         bool include_trace_events = false);
 
   // --- running ---------------------------------------------------------------
-  void run_until(TimePoint deadline) { scheduler_.run_until(deadline); }
-  void run_for(Duration d) { scheduler_.run_until(scheduler_.now() + d); }
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now() + d); }
   /// Stop every device's duty cycle (drain before reading final stats).
   void stop_all();
 
  private:
   friend class ScenarioBuilder;
   Scenario(const ScenarioBuilder& b);
+  void build_parallel(const ScenarioBuilder& b);
+  void require_serial(const char* what) const;
+
+  /// One shard's event core plus its message tally. The schedulers and
+  /// mediums live behind unique_ptrs because Medium holds a Scheduler&
+  /// and neither is movable.
+  struct ShardRuntime {
+    std::unique_ptr<Scheduler> scheduler;
+    std::unique_ptr<Medium> medium;
+    /// Written only by the shard's owning thread (its gateways' message
+    /// callbacks), read after run — no atomics needed.
+    std::uint64_t messages = 0;
+  };
 
   Scheduler scheduler_;
   Medium medium_;
+  std::vector<ShardRuntime> shard_runtimes_;
+  std::unique_ptr<ParallelEngine> engine_;
   telemetry::MetricsRegistry registry_;
   telemetry::Tracer tracer_;
   bool telemetry_enabled_ = true;
@@ -216,6 +248,24 @@ class ScenarioBuilder {
     device_rng_ = std::move(fn);
     return *this;
   }
+  // --- sharded parallel engine ----------------------------------------------
+  /// Run on the sharded parallel engine with this many worker threads.
+  /// 0 (default) = the legacy serial engine, bit-identical to every
+  /// pre-sharding build. With threads > 0 the fleet is striped across
+  /// shards() per-shard schedulers/mediums and advanced in window()
+  /// conservative time windows; results depend on the SHARD count, not
+  /// the thread count (see sim/parallel.hpp). Parallel scenarios reject
+  /// faults()/attach_invariants()/chaos_targets()/trace()/sample_every()
+  /// — those subsystems assume one serial event core.
+  ScenarioBuilder& threads(unsigned t) { threads_ = t; return *this; }
+  /// Spatial stripes (and independent event cores) for the parallel
+  /// engine. Fixed default of 8 so digests are comparable across thread
+  /// counts out of the box. Ignored when threads() is 0.
+  ScenarioBuilder& shards(std::size_t s) { shards_ = s; return *this; }
+  /// Conservative window length for cross-shard commit (see
+  /// sim/parallel.hpp for what this trades away). Ignored when serial.
+  ScenarioBuilder& window(Duration w) { window_ = w; return *this; }
+
   /// Stagger duty-cycle starts uniformly across one period (default on —
   /// avoids the t=0 thundering herd). Off = all devices start at t=0.
   ScenarioBuilder& stagger_starts(bool on) { stagger_ = on; return *this; }
@@ -285,6 +335,9 @@ class ScenarioBuilder {
   std::function<Position(int)> place_device_;
   std::function<Position(int)> place_gateway_;
   std::function<Rng(int)> device_rng_;
+  unsigned threads_ = 0;
+  std::size_t shards_ = 8;
+  Duration window_ = msec(10);
   bool stagger_ = true;
   std::size_t timeline_max_segments_ = 64;
   bool auto_start_ = true;

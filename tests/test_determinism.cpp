@@ -10,6 +10,14 @@
 //     The grid must only skip nodes that are provably below the
 //     carrier-sense floor (which never consume RNG draws), so switching
 //     it on is invisible to the simulation.
+//  3. Thread-count independence — the sharded parallel engine at a
+//     fixed shard count produces identical runs for threads={1,2,4}.
+//     Shard assignment, per-shard RNG streams and the cross-shard merge
+//     order are functions of the shard layout alone; threads only pick
+//     which worker executes which shard (sim/parallel.hpp). Because a
+//     global delivery order does not exist across concurrent shards,
+//     the digest is per-gateway (deterministic within a shard) and
+//     combined in gateway order.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "wile/receiver.hpp"
+#include "wile/scenario.hpp"
 #include "wile/sender.hpp"
 
 namespace wile::core {
@@ -132,6 +141,87 @@ TEST(Determinism, SpatialGridMatchesDenseScanExactly) {
   EXPECT_EQ(grid.messages, dense.messages);
   EXPECT_EQ(grid.events_run, dense.events_run);
   EXPECT_EQ(grid.total_energy_j, dense.total_energy_j);
+}
+
+// Same contended-neighbourhood shape as run_reference_scenario, but on
+// the sharded engine: 100 CSMA senders 4 m apart striped over 8 shards
+// (stripe width 5 m, audible radius ~25 m — nearly every transmission
+// crosses multiple stripes, the worst case for cross-shard commit).
+RunResult run_sharded_scenario(unsigned threads) {
+  auto scenario =
+      sim::ScenarioBuilder{}
+          .devices(100)
+          .grid_spacing_m(4.0)
+          .gateways(4)
+          .duty_cycle(seconds(5))
+          .wake_jitter(msec(200))
+          .seed(0xD7E7E241ULL)
+          .medium_seed(0xD37E12)
+          .configure_sender([](SenderConfig& cfg, int) { cfg.use_csma = true; })
+          .threads(threads)
+          .shards(8)
+          .window(msec(10))
+          .telemetry(false)
+          .build();
+
+  // Per-gateway digests: each gateway fires only on its owning shard's
+  // thread, and each writes its own preallocated slot — no shared
+  // mutable state between workers.
+  auto& gateways = scenario->gateways();
+  std::vector<Digest> digests(gateways.size());
+  for (std::size_t k = 0; k < gateways.size(); ++k) {
+    gateways[k]->set_message_callback(
+        [slot = &digests[k]](const Message& m, const RxMeta& meta) {
+          slot->add(m.device_id);
+          slot->add(m.sequence);
+          slot->add_bytes(m.data);
+          slot->add(static_cast<std::uint64_t>(meta.received_at.us()));
+        });
+  }
+
+  scenario->run_for(seconds(30));
+  scenario->stop_all();
+
+  RunResult result;
+  result.medium_stats = scenario->medium_stats();
+  Digest combined;
+  for (const Digest& d : digests) combined.add(d.value());
+  result.message_digest = combined.value();
+  for (const auto& gw : gateways) result.messages += gw->stats().messages;
+  result.events_run = scenario->events_run();
+  for (const auto& s : scenario->devices()) {
+    result.total_energy_j +=
+        s->timeline().energy_between(TimePoint{}, TimePoint{seconds(30)}).value;
+  }
+  return result;
+}
+
+TEST(Determinism, ShardedEngineIsThreadCountIndependent) {
+  const RunResult one = run_sharded_scenario(1);
+  const RunResult two = run_sharded_scenario(2);
+  const RunResult four = run_sharded_scenario(4);
+
+  // Traffic sanity first: digests of a dead fleet prove nothing.
+  EXPECT_GT(one.medium_stats.transmissions, 100u);
+  EXPECT_GT(one.messages, 50u);
+
+  for (const RunResult* other : {&two, &four}) {
+    EXPECT_EQ(one.medium_stats.transmissions, other->medium_stats.transmissions);
+    EXPECT_EQ(one.medium_stats.deliveries, other->medium_stats.deliveries);
+    EXPECT_EQ(one.medium_stats.collision_losses,
+              other->medium_stats.collision_losses);
+    EXPECT_EQ(one.medium_stats.channel_losses, other->medium_stats.channel_losses);
+    EXPECT_EQ(one.message_digest, other->message_digest);
+    EXPECT_EQ(one.messages, other->messages);
+    EXPECT_EQ(one.events_run, other->events_run);
+    EXPECT_EQ(one.total_energy_j, other->total_energy_j);  // bit-exact, not NEAR
+  }
+}
+
+TEST(Determinism, ShardedEngineIsRepeatable) {
+  const RunResult a = run_sharded_scenario(2);
+  const RunResult b = run_sharded_scenario(2);
+  EXPECT_EQ(a, b);
 }
 
 TEST(Determinism, ScenarioActuallyExercisesTheMedium) {

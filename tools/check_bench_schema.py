@@ -42,6 +42,11 @@ FLEET_RUN_REQUIRED = ["n", "sim_seconds", "wall_seconds", "sim_wall_ratio",
                       "events", "events_per_sec", "transmissions", "deliveries",
                       "collision_losses", "messages", "rss_peak_mb",
                       "rss_delta_mb"]
+# Rows written by the sharded engine additionally carry the engine
+# config and the per-node memory footprint (0/0 threads/shards marks a
+# legacy serial row; old artifacts without these keys still validate).
+FLEET_SHARDED_REQUIRED = ["threads", "shards", "hw_threads",
+                          "rss_per_node_bytes"]
 
 HARVEST_TOP_REQUIRED = ["bench", "quick", "sim_seconds", "period_seconds",
                         "source_tx_dbm", "rectenna_efficiency", "runs",
@@ -114,12 +119,58 @@ def check_fleet_runs(doc, errors):
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         return fail(errors, "runs missing or empty")
+    threads_aware = any("threads" in run for run in runs)
     for i, run in enumerate(runs):
         for key in FLEET_RUN_REQUIRED:
             if key not in run:
                 fail(errors, f"runs[{i}] missing {key!r}")
+        if threads_aware:
+            for key in FLEET_SHARDED_REQUIRED:
+                if key not in run:
+                    fail(errors, f"runs[{i}] missing {key!r}")
         if run.get("transmissions", 0) <= 0 or run.get("messages", 0) <= 0:
             fail(errors, f"runs[{i}] has no traffic — broken run?")
+    if errors or not threads_aware:
+        return
+
+    # Determinism oracle across the thread axis: rows that differ only
+    # in thread count ran the exact same simulation on the exact same
+    # shard layout, so their traffic counters must be identical
+    # (DESIGN.md §13: results depend on shards, never threads). This
+    # holds regardless of the hardware the bench ran on.
+    groups = {}
+    for i, run in enumerate(runs):
+        if run.get("threads", 0) > 0:
+            key = (run["n"], run["sim_seconds"], run["shards"])
+            groups.setdefault(key, []).append((i, run))
+    for (n, _, shards), members in groups.items():
+        if len(members) < 2:
+            continue
+        oracle = ["transmissions", "deliveries", "messages", "events"]
+        first_i, first = members[0]
+        for i, run in members[1:]:
+            for key in oracle:
+                if run.get(key) != first.get(key):
+                    fail(errors,
+                         f"runs[{i}] {key}={run.get(key)} differs from "
+                         f"runs[{first_i}] {key}={first.get(key)} at same "
+                         f"(n={n}, shards={shards}) — thread count leaked "
+                         "into simulation results")
+        # Throughput scaling gate: only enforceable where the machine
+        # can actually run the workers in parallel. On a 1-core runner
+        # extra threads are pure barrier overhead; the determinism
+        # oracle above is the unconditional check.
+        for i, run in members[1:]:
+            if run.get("n", 0) < 100_000:
+                continue
+            if run.get("hw_threads", 0) >= run.get("threads", 0) \
+                    and run.get("threads", 0) > first.get("threads", 0):
+                if run.get("events_per_sec", 0) < first.get("events_per_sec", 0):
+                    fail(errors,
+                         f"runs[{i}] events/sec regressed vs runs[{first_i}] "
+                         f"despite more threads ({run.get('threads')} vs "
+                         f"{first.get('threads')}) on hardware with "
+                         f"{run.get('hw_threads')} cores")
 
 
 def check_harvesting(doc, errors):
