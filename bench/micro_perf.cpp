@@ -23,6 +23,8 @@
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "wile/codec.hpp"
+#include "wile/ingest.hpp"
+#include "wile/rules/engine.hpp"
 
 using namespace wile;
 
@@ -316,6 +318,79 @@ void BM_WindowBarrier(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 2);
 }
 BENCHMARK(BM_WindowBarrier)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_IngestDispatch(benchmark::State& state) {
+  // The controller's per-fragment hot path over an N-device fleet: one
+  // flat-table probe resolving the consolidated DeviceState, then the
+  // track update and the once-per-announce report trigger. This is the
+  // unit cost bench/ingest_throughput section 2 measures end-to-end
+  // against the legacy three-map replica.
+  const auto n_devices = static_cast<std::uint32_t>(state.range(0));
+  core::IngestTable table;
+  for (std::uint32_t id = 0; id < n_devices; ++id) table.state(id);
+
+  Rng rng{0x1276E57};
+  struct Frag {
+    std::uint32_t device;
+    std::uint32_t sequence;
+  };
+  std::vector<Frag> frags(1 << 16);
+  std::vector<std::uint32_t> next_seq(n_devices, 1);
+  for (auto& f : frags) {
+    f.device = static_cast<std::uint32_t>(rng.below(n_devices));
+    f.sequence = next_seq[f.device]++;
+  }
+
+  std::size_t i = 0;
+  std::uint64_t reports = 0;
+  for (auto _ : state) {
+    const Frag& f = frags[i];
+    if (++i == frags.size()) i = 0;
+    core::DeviceState& dev = table.state(f.device);
+    core::IngestTable::note_uplink(dev, f.sequence);
+    reports += core::IngestTable::should_report(dev, f.sequence) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(reports);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestDispatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RulesEval(benchmark::State& state) {
+  // One reading through the gateway rules engine's node chain: a value
+  // condition feeding a hold node, plus a windowed aggregate — the two
+  // stateful shapes. Readings cycle over N devices so per-device state
+  // (streaks, windows) stays live.
+  const auto n_devices = static_cast<std::uint32_t>(state.range(0));
+  rules::RuleSpec hot;
+  hot.name = "hot";
+  hot.when = rules::ConditionSpec{rules::Field::Value, rules::Cmp::Gt, 40000.0};
+  hot.hold = seconds(10);
+  rules::RuleSpec burst;
+  burst.name = "burst";
+  burst.when = rules::ConditionSpec{rules::Field::Value, rules::Cmp::Ge, 0.0};
+  rules::AggregateSpec agg;
+  agg.op = rules::AggOp::Count;
+  agg.window = seconds(30);
+  agg.cmp = rules::Cmp::Ge;
+  agg.rhs = 8;
+  burst.aggregate = agg;
+  rules::Engine engine{{hot, burst}};
+
+  Rng rng{0xA11CE};
+  rules::Reading reading;
+  std::uint64_t t_us = 0;
+  for (auto _ : state) {
+    reading.device_id = static_cast<std::uint32_t>(rng.below(n_devices));
+    reading.at = TimePoint{usec(static_cast<std::int64_t>(t_us))};
+    t_us += 100;
+    reading.value = static_cast<double>(rng.below(65536));
+    reading.rssi_dbm = -60;
+    engine.on_reading(reading);
+  }
+  benchmark::DoNotOptimize(engine.fired_total());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RulesEval)->Arg(100)->Arg(10000);
 
 }  // namespace
 

@@ -62,12 +62,14 @@ int main() {
   std::uint64_t server_rows = 0;
   access_point.set_uplink_handler([&](const MacAddress&, const net::Ipv4Header&,
                                       const net::UdpDatagram& udp) {
-    const auto reading = core::ForwardedReading::decode(udp.payload);
-    if (!reading) return;
-    ++server_rows;
-    std::printf("t=%7.1fs  [server] device=%#06x seq=%-3u rssi=%d dBm data=%zuB\n",
-                to_seconds(scheduler.now().since_epoch()), reading->device_id,
-                reading->sequence, reading->rssi_dbm, reading->data.size());
+    const auto batch = core::ForwardedBatch::decode(udp.payload);
+    if (!batch) return;
+    for (const core::ForwardedReading& reading : batch->readings) {
+      ++server_rows;
+      std::printf("t=%7.1fs  [server] device=%#06x seq=%-3u rssi=%d dBm data=%zuB\n",
+                  to_seconds(scheduler.now().since_epoch()), reading.device_id,
+                  reading.sequence, reading.rssi_dbm, reading.data.size());
+    }
   });
   access_point.start();
   access_point.publish_metrics(

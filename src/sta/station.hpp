@@ -137,6 +137,13 @@ class Station : public sim::MediumClient {
   /// re-association), reporting the wake-to-sleep cycle.
   void power_save_send(Bytes payload, CycleCallback done);
 
+  /// Take back the buffer passed to the last payload-carrying send. The
+  /// UDP packet copies the payload at TX time, so after the cycle
+  /// callback fires (success or failure) the buffer is idle — a batching
+  /// caller can reclaim it and re-fill in place instead of allocating a
+  /// fresh one per send.
+  [[nodiscard]] Bytes reclaim_payload() { return std::move(pending_payload_); }
+
   /// Gracefully leave the network from power-save mode: transmit a
   /// Deauthentication frame, then drop to deep sleep. After this the
   /// station can run duty-cycle transmissions again.

@@ -15,6 +15,7 @@ std::string_view phase_name(Phase p) {
     case Phase::Fault: return "fault";
     case Phase::BrownOut: return "brown_out";
     case Phase::Recharge: return "recharge";
+    case Phase::Drop: return "drop";
     case Phase::Other: break;
   }
   return "other";

@@ -38,6 +38,7 @@ enum class Phase : std::uint8_t {
   BrownOut,  // harvester ran dry; cycle checkpointed and suspended
   Recharge,  // capacitor back above the resume threshold
   Other,
+  Drop,      // a queued reading was destroyed (retry budget / queue full)
 };
 
 [[nodiscard]] std::string_view phase_name(Phase p);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "dot11/mgmt.hpp"
 
@@ -23,11 +24,13 @@ Controller::Controller(sim::Scheduler& scheduler, sim::Medium& medium,
 bool Controller::rx_enabled() const { return !medium_.transmitting(node_id_); }
 
 void Controller::queue_downlink(std::uint32_t device_id, Bytes data) {
-  queued_[device_id].push_back(std::move(data));
+  devices_.state(device_id).queue().push_back(std::move(data));
   ++stats_.downlinks_queued;
 }
 
 void Controller::on_frame(const sim::RxFrame& frame) {
+  const auto t0 = dispatch_ns_ ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   auto parsed = dot11::parse_mpdu(frame.mpdu);
   if (!parsed || !parsed->fcs_ok) return;
   if (!parsed->header.fc.is_mgmt(dot11::MgmtSubtype::Beacon)) return;
@@ -46,34 +49,28 @@ void Controller::on_frame(const sim::RxFrame& frame) {
     const bool uplink_data = fragment.type == MessageType::Telemetry ||
                              fragment.type == MessageType::Event ||
                              fragment.type == MessageType::Probe;
-    if (uplink_data) {
-      auto [tit, inserted] = tracks_.try_emplace(fragment.device_id);
-      if (inserted) {
-        tit->second.last_sequence = fragment.sequence;
-      } else {
-        update_track(tit->second, fragment.sequence);
-      }
-    }
+    // One probe resolves everything this fragment needs: the loss track,
+    // the downlink queue and the downlink sequence counter all live in
+    // the same DeviceState record. Only uplink data may create a record;
+    // other types look up what queue_downlink already created, if any.
+    DeviceState* dev = uplink_data ? &devices_.state(fragment.device_id)
+                                   : devices_.find(fragment.device_id);
+    if (uplink_data) IngestTable::note_uplink(*dev, fragment.sequence);
     if (fragment.rx_window) {
       ++stats_.windows_seen;
-      auto qit = queued_.find(fragment.device_id);
-      if (qit != queued_.end() && !qit->second.empty()) {
-        inject_downlink(fragment.device_id, *fragment.rx_window);
+      if (dev && dev->has_queued()) {
+        inject_downlink(fragment.device_id, *dev, *fragment.rx_window);
       }
       // Loss-adaptive redundancy: one ChannelReport per announced
       // sequence (repeats of the same beacon don't re-trigger).
-      if (config_.channel_reports && uplink_data) {
-        Track& track = tracks_[fragment.device_id];
-        if (!track.reported || track.last_reported_announce != fragment.sequence) {
-          track.reported = true;
-          track.last_reported_announce = fragment.sequence;
-          Message report;
-          report.device_id = fragment.device_id;
-          report.sequence = downlink_seq_[fragment.device_id]++;
-          report.type = MessageType::ChannelReport;
-          report.data = encode_channel_report(make_report(track));
-          schedule_injection(*fragment.rx_window, std::move(report), TxKind::Report);
-        }
+      if (config_.channel_reports && uplink_data &&
+          IngestTable::should_report(*dev, fragment.sequence)) {
+        Message report;
+        report.device_id = fragment.device_id;
+        report.sequence = dev->downlink_seq++;
+        report.type = MessageType::ChannelReport;
+        report.data = encode_channel_report(make_report(*dev));
+        schedule_injection(*fragment.rx_window, std::move(report), TxKind::Report);
       }
     }
     if (auto message = reassembler_.add(fragment)) {
@@ -86,7 +83,14 @@ void Controller::on_frame(const sim::RxFrame& frame) {
       if (config_.auto_ack && fragment.rx_window && ackable) {
         Message ack;
         ack.device_id = message->device_id;
-        ack.sequence = downlink_seq_[message->device_id]++;
+        // A completed message normally belongs to the fragment's device,
+        // so its sequence counter is already in hand; fall back to a
+        // fresh probe for cross-device completions. (state() may grow the
+        // table, so `dev` must not be used after this point.)
+        DeviceState& ack_dev = (dev && message->device_id == fragment.device_id)
+                                   ? *dev
+                                   : devices_.state(message->device_id);
+        ack.sequence = ack_dev.downlink_seq++;
         ack.type = MessageType::Ack;
         ByteWriter w(4);
         w.u32le(message->sequence);
@@ -96,31 +100,22 @@ void Controller::on_frame(const sim::RxFrame& frame) {
       if (callback_) callback_(*message, meta);
     }
   }
-}
-
-void Controller::update_track(Track& track, std::uint32_t sequence) {
-  // Serial-number arithmetic: correct across the uint32 sequence wrap.
-  const auto ahead = static_cast<std::int32_t>(sequence - track.last_sequence);
-  if (ahead > 0) {
-    const auto gap = static_cast<std::uint32_t>(ahead);
-    track.recent_seen = (gap >= 64) ? 1 : ((track.recent_seen << gap) | 1);
-    track.last_sequence = sequence;
-    track.span = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        64, static_cast<std::uint64_t>(track.span) + gap));
-  } else {
-    const auto age = static_cast<std::uint32_t>(-ahead);
-    if (age < 64) track.recent_seen |= std::uint64_t{1} << age;
+  if (dispatch_ns_) {
+    dispatch_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
   }
 }
 
-ChannelReport Controller::make_report(const Track& track) const {
+ChannelReport Controller::make_report(const DeviceState& dev) const {
   const auto window = static_cast<std::uint32_t>(std::clamp(config_.report_window, 1, 64));
-  const std::uint32_t w = std::min(window, track.span);
+  const std::uint32_t w = std::min(window, dev.span);
   const std::uint64_t mask = w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
   const auto received =
-      static_cast<std::uint32_t>(std::popcount(track.recent_seen & mask));
+      static_cast<std::uint32_t>(std::popcount(dev.recent_seen & mask));
   ChannelReport report;
-  report.as_of_sequence = track.last_sequence;
+  report.as_of_sequence = dev.last_sequence;
   report.loss_permille = static_cast<std::uint16_t>(1000 * (w - std::min(received, w)) / w);
   report.window = static_cast<std::uint8_t>(w);
   return report;
@@ -143,15 +138,14 @@ Bytes Controller::build_downlink_beacon(const Message& message) {
   return dot11::assemble_mpdu(h, beacon.encode());
 }
 
-void Controller::inject_downlink(std::uint32_t device_id, const RxWindow& window) {
-  auto qit = queued_.find(device_id);
-  if (qit == queued_.end() || qit->second.empty()) return;
+void Controller::inject_downlink(std::uint32_t device_id, DeviceState& dev,
+                                 const RxWindow& window) {
   Message message;
   message.device_id = device_id;
-  message.sequence = downlink_seq_[device_id]++;
+  message.sequence = dev.downlink_seq++;
   message.type = MessageType::Downlink;
-  message.data = std::move(qit->second.front());
-  qit->second.pop_front();
+  message.data = std::move(dev.queued_downlinks->front());
+  dev.queued_downlinks->pop_front();
   schedule_injection(window, std::move(message), TxKind::Downlink);
 }
 
@@ -180,6 +174,11 @@ void Controller::publish_metrics(telemetry::MetricsRegistry& registry,
   registry.bind_counter(prefix + ".windows_seen", &stats_.windows_seen);
   registry.bind_counter(prefix + ".acks_sent", &stats_.acks_sent);
   registry.bind_counter(prefix + ".reports_sent", &stats_.reports_sent);
+}
+
+void Controller::publish_ingest_timing(telemetry::MetricsRegistry& registry,
+                                       const std::string& prefix) {
+  dispatch_ns_ = registry.histogram(prefix + ".dispatch_ns");
 }
 
 }  // namespace wile::core

@@ -7,12 +7,16 @@
 // a mains-powered WiFi card that monitors Wi-LE beacons like a Receiver
 // and, when it has a payload queued for a device that just announced an
 // RX window, injects a Downlink beacon inside that window.
+//
+// Per-device bookkeeping (loss track, downlink queue, downlink sequence)
+// lives in one DeviceState record per device inside a flat open-addressing
+// table (wile/ingest.hpp): each received fragment resolves its device with
+// a single hash probe instead of the former three unordered_map lookups.
 #pragma once
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 
+#include "wile/ingest.hpp"
 #include "wile/receiver.hpp"
 #include "phy/airtime.hpp"
 #include "sim/csma.hpp"
@@ -62,11 +66,20 @@ class Controller : public sim::MediumClient {
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] std::size_t devices_tracked() const { return devices_.devices(); }
 
   /// Bind controller counters into a telemetry registry under `prefix`
   /// (canonically "node.<id>.controller").
   void publish_metrics(telemetry::MetricsRegistry& registry,
                        const std::string& prefix) const;
+
+  /// Opt-in wall-clock dispatch timing: records nanoseconds spent in
+  /// on_frame into `<prefix>.dispatch_ns` (canonically
+  /// "ingest.dispatch_ns"). Separate from publish_metrics because
+  /// wall-clock values are nondeterministic — byte-identical telemetry
+  /// exports stay byte-identical unless a scenario asks for timing.
+  void publish_ingest_timing(telemetry::MetricsRegistry& registry,
+                             const std::string& prefix);
 
   // --- sim::MediumClient -----------------------------------------------------
   void on_frame(const sim::RxFrame& frame) override;
@@ -75,22 +88,11 @@ class Controller : public sim::MediumClient {
  private:
   enum class TxKind { Downlink, Ack, Report };
 
-  /// Wrap-safe per-device reception tracking, the input to
-  /// ChannelReports: a 64-bit seen bitmap over the most recent uplink
-  /// sequence numbers (mirrors Receiver's DeviceInfo).
-  struct Track {
-    std::uint32_t last_sequence = 0;
-    std::uint64_t recent_seen = 1;
-    std::uint32_t span = 1;  // sequence positions observed, capped at 64
-    std::uint32_t last_reported_announce = 0;
-    bool reported = false;
-  };
-
-  void inject_downlink(std::uint32_t device_id, const RxWindow& window);
+  void inject_downlink(std::uint32_t device_id, DeviceState& dev,
+                       const RxWindow& window);
   void schedule_injection(const RxWindow& window, Message message, TxKind kind);
   [[nodiscard]] Bytes build_downlink_beacon(const Message& message);
-  void update_track(Track& track, std::uint32_t sequence);
-  [[nodiscard]] ChannelReport make_report(const Track& track) const;
+  [[nodiscard]] ChannelReport make_report(const DeviceState& dev) const;
 
   sim::Scheduler& scheduler_;
   sim::Medium& medium_;
@@ -102,11 +104,10 @@ class Controller : public sim::MediumClient {
   Reassembler reassembler_;
   MessageCallback callback_;
 
-  std::unordered_map<std::uint32_t, std::deque<Bytes>> queued_;
-  std::unordered_map<std::uint32_t, std::uint32_t> downlink_seq_;
-  std::unordered_map<std::uint32_t, Track> tracks_;
+  IngestTable devices_;
   std::uint16_t seq_ctl_ = 0;
   ControllerStats stats_;
+  telemetry::Histogram* dispatch_ns_ = nullptr;  // opt-in, see above
 };
 
 }  // namespace wile::core

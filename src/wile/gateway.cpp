@@ -6,15 +6,28 @@
 
 namespace wile::core {
 
+void ForwardedReading::encode_into(Bytes& out) const {
+  out.reserve(out.size() + 12 + data.size());
+  const auto u16 = [&out](std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  const auto u32 = [&u16](std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  };
+  u32(device_id);
+  u32(sequence);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>(rssi_dbm));
+  u16(static_cast<std::uint16_t>(data.size()));
+  out.insert(out.end(), data.begin(), data.end());
+}
+
 Bytes ForwardedReading::encode() const {
-  ByteWriter w(12 + data.size());
-  w.u32le(device_id);
-  w.u32le(sequence);
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u8(static_cast<std::uint8_t>(rssi_dbm));
-  w.u16le(static_cast<std::uint16_t>(data.size()));
-  w.bytes(data);
-  return w.take();
+  Bytes out;
+  encode_into(out);
+  return out;
 }
 
 std::optional<ForwardedReading> ForwardedReading::decode(BytesView payload) {
@@ -34,12 +47,67 @@ std::optional<ForwardedReading> ForwardedReading::decode(BytesView payload) {
   }
 }
 
+void ForwardedBatch::begin(Bytes& out) {
+  out.clear();
+  out.push_back(kVersion);
+  out.push_back(0);  // flags, none defined in v1
+  out.push_back(0);  // count, patched by finish()
+  out.push_back(0);
+}
+
+void ForwardedBatch::append(Bytes& out, const ForwardedReading& reading) {
+  const std::size_t len_at = out.size();
+  out.push_back(0);  // record_len, patched below
+  out.push_back(0);
+  reading.encode_into(out);
+  const std::size_t len = out.size() - len_at - 2;
+  out[len_at] = static_cast<std::uint8_t>(len & 0xff);
+  out[len_at + 1] = static_cast<std::uint8_t>((len >> 8) & 0xff);
+}
+
+void ForwardedBatch::finish(Bytes& out, std::size_t count) {
+  out[2] = static_cast<std::uint8_t>(count & 0xff);
+  out[3] = static_cast<std::uint8_t>((count >> 8) & 0xff);
+}
+
+Bytes ForwardedBatch::encode() const {
+  Bytes out;
+  begin(out);
+  for (const ForwardedReading& reading : readings) append(out, reading);
+  finish(out, readings.size());
+  return out;
+}
+
+std::optional<ForwardedBatch> ForwardedBatch::decode(BytesView payload) {
+  try {
+    ByteReader r{payload};
+    if (r.u8() != kVersion) return std::nullopt;
+    if (r.u8() != 0) return std::nullopt;  // unknown flags
+    const std::uint16_t count = r.u16le();
+    ForwardedBatch out;
+    out.readings.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      const std::uint16_t len = r.u16le();
+      auto reading = ForwardedReading::decode(r.bytes(len));
+      if (!reading) return std::nullopt;
+      out.readings.push_back(std::move(*reading));
+    }
+    if (!r.empty()) return std::nullopt;  // trailing bytes
+    return out;
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
 Gateway::Gateway(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
                  GatewayConfig config, Rng rng)
     : scheduler_(scheduler), config_(std::move(config)), rng_(std::move(rng)) {
   monitor_ = std::make_unique<Receiver>(scheduler, medium, position, config_.monitor);
   station_ = std::make_unique<sta::Station>(scheduler, medium, position, config_.station,
                                             rng_.fork());
+  if (!config_.rules.empty()) {
+    rules_ = std::make_unique<rules::Engine>(config_.rules);
+  }
   monitor_->set_message_callback(
       [this](const Message& message, const RxMeta& meta) { enqueue(message, meta); });
   station_->set_link_lost_handler([this] { on_uplink_lost(); });
@@ -98,7 +166,7 @@ void Gateway::on_uplink_lost() {
   // spread instead of synchronized.
   desync_pending_ = true;
   // An in-flight send (if any) reports its failed CycleReport right after
-  // this handler; its reading is requeued there. Here we only arrange the
+  // this handler; its batch is requeued there. Here we only arrange the
   // re-association.
   schedule_reconnect();
 }
@@ -131,8 +199,17 @@ Duration Gateway::backoff_delay() {
   return std::max(jittered, msec(1));
 }
 
+void Gateway::drop_reading(std::uint64_t& reason_counter) {
+  ++reason_counter;
+  ++stats_.dropped_total;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->instant(scheduler_.now(), monitor_->node_id(), telemetry::Phase::Drop);
+  }
+}
+
 void Gateway::enqueue(const Message& message, const RxMeta& meta) {
   ++stats_.received;
+  if (rules_) rules_->on_message(message, meta.rssi_dbm, meta.received_at);
   ForwardedReading reading;
   reading.device_id = message.device_id;
   reading.sequence = message.sequence;
@@ -143,7 +220,7 @@ void Gateway::enqueue(const Message& message, const RxMeta& meta) {
 
   if (queue_.size() >= config_.max_queue) {
     queue_.pop_front();  // newest-first retention: evict the oldest reading
-    ++stats_.dropped_queue_full;
+    drop_reading(stats_.dropped_queue_full);
   }
   queue_.push_back(QueuedReading{std::move(reading), 0});
   pump();
@@ -152,31 +229,54 @@ void Gateway::enqueue(const Message& message, const RxMeta& meta) {
 void Gateway::pump() {
   if (!uplink_ready_ || sending_ || queue_.empty()) return;
   sending_ = true;
-  QueuedReading item = std::move(queue_.front());
-  queue_.pop_front();
-  if (item.attempts > 0) ++stats_.retries;
-  Bytes payload = item.reading.encode();
-  station_->power_save_send(
-      std::move(payload), [this, item = std::move(item)](const sta::CycleReport& report) mutable {
-        on_send_result(std::move(item), report.success);
-      });
+  const std::size_t batch_max = std::max<std::size_t>(1, config_.batch_max);
+  const std::size_t take = std::min(batch_max, queue_.size());
+  in_flight_.clear();
+  ForwardedBatch::begin(arena_);
+  for (std::size_t i = 0; i < take; ++i) {
+    QueuedReading item = std::move(queue_.front());
+    queue_.pop_front();
+    if (item.attempts > 0) ++stats_.retries;
+    ForwardedBatch::append(arena_, item.reading);
+    in_flight_.push_back(std::move(item));
+  }
+  ForwardedBatch::finish(arena_, in_flight_.size());
+  if (batch_fill_ != nullptr) {
+    batch_fill_->record(static_cast<std::uint64_t>(in_flight_.size()));
+  }
+  station_->power_save_send(std::move(arena_), [this](const sta::CycleReport& report) {
+    on_send_result(report.success);
+  });
 }
 
-void Gateway::on_send_result(QueuedReading item, bool success) {
+void Gateway::on_send_result(bool success) {
   sending_ = false;
+  // The cycle is over (either way), so the payload buffer is idle; take
+  // it back and re-fill it next pump instead of allocating.
+  arena_ = station_->reclaim_payload();
   if (success) {
-    ++stats_.forwarded;
+    stats_.forwarded += in_flight_.size();
+    ++stats_.batches_sent;
   } else {
     ++stats_.forward_failures;
-    ++item.attempts;
-    if (item.attempts > config_.forward_retry_limit) {
-      ++stats_.dropped_retry_budget;
-    } else if (queue_.size() >= config_.max_queue) {
-      ++stats_.dropped_queue_full;  // queue filled during the outage; newest wins
-    } else {
-      queue_.push_front(std::move(item));  // retry in original order
+    // Walk the failed batch back-to-front pushing at the queue head, so
+    // surviving readings retry in their original order ahead of anything
+    // that arrived during the outage. Per-reading budgets still decide
+    // individual fates: a reading over its retry budget is abandoned, and
+    // when the queue filled up mid-outage the oldest (these) lose —
+    // newest-first retention, same as enqueue.
+    for (auto it = in_flight_.rbegin(); it != in_flight_.rend(); ++it) {
+      ++it->attempts;
+      if (it->attempts > config_.forward_retry_limit) {
+        drop_reading(stats_.dropped_retry_budget);
+      } else if (queue_.size() >= config_.max_queue) {
+        drop_reading(stats_.dropped_queue_full);
+      } else {
+        queue_.push_front(std::move(*it));
+      }
     }
   }
+  in_flight_.clear();
   // Drain anything that arrived (or was requeued) while the uplink was
   // busy. Deferred a beat so a failed send cannot spin synchronously.
   if (!queue_.empty() && uplink_ready_ && !pump_timer_) {
@@ -191,16 +291,20 @@ void Gateway::publish_metrics(telemetry::MetricsRegistry& registry,
                               const std::string& prefix) const {
   registry.bind_counter(prefix + ".received", &stats_.received);
   registry.bind_counter(prefix + ".forwarded", &stats_.forwarded);
+  registry.bind_counter(prefix + ".batches_sent", &stats_.batches_sent);
   registry.bind_counter(prefix + ".dropped_queue_full", &stats_.dropped_queue_full);
   registry.bind_counter(prefix + ".forward_failures", &stats_.forward_failures);
   registry.bind_counter(prefix + ".retries", &stats_.retries);
   registry.bind_counter(prefix + ".dropped_retry_budget", &stats_.dropped_retry_budget);
+  registry.bind_counter(prefix + ".dropped_total", &stats_.dropped_total);
   registry.bind_counter(prefix + ".uplink_losses", &stats_.uplink_losses);
   registry.bind_counter(prefix + ".reconnect_attempts", &stats_.reconnect_attempts);
   registry.bind_counter(prefix + ".reassociations", &stats_.reassociations);
   registry.bind_counter_fn(prefix + ".queue_depth", [this] {
     return static_cast<std::uint64_t>(queue_.size());
   });
+  batch_fill_ = registry.histogram(prefix + ".batch_fill");
+  if (rules_) rules_->publish_metrics(registry, prefix + ".rules");
   monitor_->publish_metrics(registry, prefix + ".monitor");
   station_->publish_metrics(registry, prefix + ".station");
 }

@@ -8,6 +8,12 @@
 // with two WiFi interfaces — mains powered, so its energy is not the
 // scarce resource; the sensors' is.
 //
+// The uplink drains in batches: up to batch_max queued readings coalesce
+// into one ForwardedBatch payload per power-save send cycle
+// (`wile-batch-v1`: a 4-byte header then length-prefixed ForwardedReading
+// records), encoded into an arena buffer that is reclaimed from the
+// station after every cycle — steady-state forwarding does not allocate.
+//
 // The gateway is self-healing: it supervises its uplink (the station's
 // beacon-loss detection plus per-send failure reports), re-associates
 // with capped exponential backoff + jitter after any loss, retries each
@@ -21,9 +27,12 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "sta/station.hpp"
+#include "telemetry/trace.hpp"
 #include "wile/receiver.hpp"
+#include "wile/rules/engine.hpp"
 
 namespace wile::core {
 
@@ -38,9 +47,32 @@ struct ForwardedReading {
   Bytes data;
 
   [[nodiscard]] Bytes encode() const;
+  /// Append the record encoding to `out` (the allocation-free path the
+  /// batch encoder uses).
+  void encode_into(Bytes& out) const;
   static std::optional<ForwardedReading> decode(BytesView payload);
 
   friend bool operator==(const ForwardedReading&, const ForwardedReading&) = default;
+};
+
+/// `wile-batch-v1`: what one uplink datagram carries. Header: version
+/// u8 (=1), flags u8 (=0), count u16le; then `count` records, each
+/// record_len u16le + that many bytes in the ForwardedReading encoding.
+/// Records are length-prefixed whole units — a batch boundary can never
+/// split a record.
+struct ForwardedBatch {
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kHeaderSize = 4;
+
+  std::vector<ForwardedReading> readings;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ForwardedBatch> decode(BytesView payload);
+
+  // Incremental encoding into a reused arena:
+  static void begin(Bytes& out);  // clears `out`, writes the header
+  static void append(Bytes& out, const ForwardedReading& reading);
+  static void finish(Bytes& out, std::size_t count);  // patches count
 };
 
 struct GatewayConfig {
@@ -52,6 +84,10 @@ struct GatewayConfig {
   /// Readings buffered while the uplink is busy; older ones drop first
   /// (newest-first retention — the latest sensor state matters most).
   std::size_t max_queue = 64;
+  /// Readings coalesced into one uplink payload per power-save send
+  /// cycle (min 1). Larger batches amortise the wake/TX cycle over more
+  /// readings at the cost of a bigger datagram.
+  std::size_t batch_max = 16;
   /// Forward retries per reading after a failed send (0 = fire and
   /// forget). A reading that exhausts the budget is dropped.
   int forward_retry_limit = 3;
@@ -68,18 +104,26 @@ struct GatewayConfig {
   /// still lands every reassociation in the same ~200 ms; this spreads
   /// the first wave across the whole window. 0 disables.
   Duration reconnect_desync_spread = seconds(1);
+  /// Rules evaluated over every decoded reading (empty = no engine).
+  std::vector<rules::RuleSpec> rules;
 };
 
 struct GatewayStats {
   std::uint64_t received = 0;
   std::uint64_t forwarded = 0;
+  /// Uplink send cycles that carried a batch (forwarded / batches_sent
+  /// = achieved coalescing).
+  std::uint64_t batches_sent = 0;
   std::uint64_t dropped_queue_full = 0;
-  /// Failed forward attempts (each failed send, including retries).
+  /// Failed forward attempts (each failed send cycle, including retries).
   std::uint64_t forward_failures = 0;
   /// Re-sends of a queued reading after a failure.
   std::uint64_t retries = 0;
   /// Readings abandoned after exhausting forward_retry_limit.
   std::uint64_t dropped_retry_budget = 0;
+  /// Every reading destroyed without being forwarded, whatever the
+  /// reason (== dropped_queue_full + dropped_retry_budget).
+  std::uint64_t dropped_total = 0;
   /// Uplink-dead declarations observed (beacon loss, send death, fault).
   std::uint64_t uplink_losses = 0;
   /// Connection attempts made after the initial start().
@@ -109,9 +153,20 @@ class Gateway {
 
   /// Bind bridge counters (and the monitor radio's receiver counters,
   /// under `prefix`.monitor) into a telemetry registry; the stats()
-  /// accessors keep reading the same slots.
+  /// accessors keep reading the same slots. Also creates the
+  /// `<prefix>.batch_fill` histogram of readings per sent batch
+  /// (canonically "ingest.batch_fill" when prefix = "ingest").
   void publish_metrics(telemetry::MetricsRegistry& registry,
                        const std::string& prefix) const;
+
+  /// Attach a tracer (nullptr detaches): the gateway emits a Drop
+  /// instant, on the monitor radio's node, for every reading it
+  /// destroys — chaos-soak oracles can bound loss from the trace.
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
+  /// The rules engine, or nullptr when GatewayConfig::rules was empty.
+  [[nodiscard]] rules::Engine* rules() { return rules_.get(); }
+  [[nodiscard]] const rules::Engine* rules() const { return rules_.get(); }
 
   /// Next reconnect delay (capped exponential backoff x jitter, plus
   /// the one-shot desync spread after a loss). Public so tests can pin
@@ -128,7 +183,8 @@ class Gateway {
 
   void enqueue(const Message& message, const RxMeta& meta);
   void pump();
-  void on_send_result(QueuedReading item, bool success);
+  void on_send_result(bool success);
+  void drop_reading(std::uint64_t& reason_counter);
   void on_uplink_lost();
   void attempt_connect();
   void schedule_reconnect();
@@ -138,7 +194,14 @@ class Gateway {
   Rng rng_;  // backoff jitter
   std::unique_ptr<Receiver> monitor_;
   std::unique_ptr<sta::Station> station_;
+  std::unique_ptr<rules::Engine> rules_;
   std::deque<QueuedReading> queue_;
+  /// Readings riding the current send cycle (front of queue_ at pump
+  /// time, in order). Capacity is reused across cycles.
+  std::vector<QueuedReading> in_flight_;
+  /// Encode buffer handed to the station each cycle and reclaimed in
+  /// on_send_result — the steady-state drain loop never allocates.
+  Bytes arena_;
   bool uplink_ready_ = false;
   bool sending_ = false;
   bool started_ = false;
@@ -149,6 +212,8 @@ class Gateway {
   std::optional<sim::EventId> pump_timer_;
   std::function<void(bool)> first_ready_;
   GatewayStats stats_;
+  telemetry::Tracer* tracer_ = nullptr;
+  mutable telemetry::Histogram* batch_fill_ = nullptr;
 };
 
 }  // namespace wile::core

@@ -29,10 +29,10 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() const {
     // These subsystems hold a reference to THE scheduler/medium and run
     // unsynchronized callbacks; the sharded engine has neither a single
     // core nor a single thread. Reject at build time, loudly.
-    if (trace_ || sample_period_ || configure_faults_) {
+    if (trace_ || sample_period_ || configure_faults_ || !rules_.empty()) {
       throw std::invalid_argument(
-          "ScenarioBuilder: trace/sample_every/configure_faults require the "
-          "serial engine (threads(0))");
+          "ScenarioBuilder: trace/sample_every/configure_faults/rules require "
+          "the serial engine (threads(0))");
     }
     if (shards_ == 0) throw std::invalid_argument("ScenarioBuilder: shards == 0");
   }
@@ -54,6 +54,10 @@ Scenario::Scenario(const ScenarioBuilder& b)
   if (b.loss_floor_) medium_.set_loss_floor(*b.loss_floor_);
   tracer_.set_max_events(b.trace_max_events_);
   tracer_.set_enabled(b.trace_);
+  if (!b.rules_.empty()) {
+    rules_engine_ = std::make_unique<rules::Engine>(b.rules_);
+    if (b.rules_poll_period_) schedule_rules_poll(*b.rules_poll_period_);
+  }
 
   // --- devices: exact scale_fleet wiring order -------------------------------
   // Master fork per device and the staggered-start schedule_at are
@@ -136,6 +140,7 @@ Scenario::Scenario(const ScenarioBuilder& b)
     receivers_.back()->set_message_callback(
         [this](const core::Message& msg, const core::RxMeta& meta) {
           ++messages_;
+          if (rules_engine_) rules_engine_->on_message(msg, meta.rssi_dbm, meta.received_at);
           if (user_on_message_) user_on_message_(msg, meta);
         });
   }
@@ -167,6 +172,7 @@ Scenario::Scenario(const ScenarioBuilder& b)
   registry_.bind_gauge_fn("fleet.gateways", [this] {
     return static_cast<double>(receivers_.size());
   });
+  if (rules_engine_) rules_engine_->publish_metrics(registry_, "rules");
 
   if (b.per_node_) {
     for (auto& s : senders_) {
@@ -464,6 +470,7 @@ void Scenario::attach_invariants(InvariantMonitor& monitor) {
             const core::Message& msg, const core::RxMeta& meta) {
           ++messages_;
           monitor.on_delivery(key, msg.device_id, msg.sequence, scheduler_.now());
+          if (rules_engine_) rules_engine_->on_message(msg, meta.rssi_dbm, meta.received_at);
           if (user_on_message_) user_on_message_(msg, meta);
         });
   }
@@ -538,6 +545,13 @@ std::string Scenario::export_json(telemetry::ExportMeta meta,
                                   bool include_trace_events) {
   const telemetry::Snapshot snap = snapshot();
   return telemetry::to_json(snap, samples(), meta, &tracer_, include_trace_events);
+}
+
+void Scenario::schedule_rules_poll(Duration every) {
+  scheduler_.schedule_in(every, [this, every] {
+    rules_engine_->poll(scheduler_.now());
+    schedule_rules_poll(every);
+  });
 }
 
 void Scenario::stop_all() {

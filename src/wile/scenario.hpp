@@ -45,6 +45,7 @@
 #include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 #include "wile/receiver.hpp"
+#include "wile/rules/engine.hpp"
 #include "wile/sender.hpp"
 
 namespace wile::sim {
@@ -112,6 +113,9 @@ class Scenario {
   /// shared counter). In parallel mode each shard counts its own
   /// gateways (no cross-thread counter contention) and this sums them.
   [[nodiscard]] std::uint64_t messages() const;
+  /// The fleet rules engine, or nullptr unless ScenarioBuilder::rules()
+  /// configured one. Fed every message each gateway delivers.
+  [[nodiscard]] rules::Engine* rules() { return rules_engine_.get(); }
 
   // --- telemetry -------------------------------------------------------------
   [[nodiscard]] telemetry::MetricsRegistry& metrics() { return registry_; }
@@ -164,8 +168,11 @@ class Scenario {
   std::uint64_t fault_seed_ = 0;
   std::vector<std::unique_ptr<core::Sender>> senders_;
   std::vector<std::unique_ptr<core::Receiver>> receivers_;
+  std::unique_ptr<rules::Engine> rules_engine_;
   std::uint64_t messages_ = 0;
   core::Receiver::MessageCallback user_on_message_;
+
+  void schedule_rules_poll(Duration every);
 };
 
 /// Fluent builder. Every knob has the scale_fleet default, so
@@ -290,6 +297,21 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- rules engine ----------------------------------------------------------
+  /// Declarative fleet rules, evaluated over every message any gateway
+  /// delivers (see wile/rules/engine.hpp). Serial engine only. Telemetry
+  /// lands under "rules.*" (rules.fired, per-rule/node counters).
+  ScenarioBuilder& rules(std::vector<rules::RuleSpec> specs) {
+    rules_ = std::move(specs);
+    return *this;
+  }
+  /// Period of the staleness sweep (Engine::poll). Without this,
+  /// stale_after rules never fire.
+  ScenarioBuilder& rules_poll_every(Duration period) {
+    rules_poll_period_ = period;
+    return *this;
+  }
+
   // --- telemetry knobs -------------------------------------------------------
   /// Master switch. Disabled = no metrics are registered at all: zero
   /// registry entries, zero snapshots, zero sampler events — the
@@ -343,6 +365,8 @@ class ScenarioBuilder {
   bool auto_start_ = true;
   core::Receiver::MessageCallback on_message_;
   std::function<void(int, const core::SendReport&)> on_send_report_;
+  std::vector<rules::RuleSpec> rules_;
+  std::optional<Duration> rules_poll_period_;
   bool telemetry_ = true;
   bool per_node_ = true;
   bool trace_ = false;

@@ -223,6 +223,20 @@ TEST(FuzzParsers, ForwardedReadingNeverCrashes) {
   fuzz_mutations(reading.encode(), 19, parse);
 }
 
+TEST(FuzzParsers, ForwardedBatchNeverCrashes) {
+  auto parse = [](BytesView in) { (void)core::ForwardedBatch::decode(in); };
+  fuzz_random(22, 2000, 400, parse);
+  core::ForwardedBatch batch;
+  for (int i = 0; i < 3; ++i) {
+    core::ForwardedReading reading;
+    reading.device_id = static_cast<std::uint32_t>(0x100 + i);
+    reading.sequence = static_cast<std::uint32_t>(i);
+    reading.data = Bytes(static_cast<std::size_t>(10 + i), 0x33);
+    batch.readings.push_back(std::move(reading));
+  }
+  fuzz_mutations(batch.encode(), 23, parse);
+}
+
 TEST(FuzzParsers, MutatedMpduNeverAcceptedWithGoodFcs) {
   // Stronger property: any single-bit mutation of a valid MPDU must
   // flip fcs_ok to false (CRC-32 detects all single-bit errors).

@@ -38,8 +38,11 @@ class GatewayTest : public ::testing::Test {
                                             ap_cfg, Rng{10});
     ap_->set_uplink_handler([this](const MacAddress&, const net::Ipv4Header&,
                                    const net::UdpDatagram& udp) {
-      if (auto reading = ForwardedReading::decode(udp.payload)) {
-        server_received_.push_back(*reading);
+      if (auto batch = ForwardedBatch::decode(udp.payload)) {
+        ++server_batches_;
+        for (ForwardedReading& r : batch->readings) {
+          server_received_.push_back(std::move(r));
+        }
       }
     });
     ap_->start();
@@ -62,6 +65,7 @@ class GatewayTest : public ::testing::Test {
   std::unique_ptr<ap::AccessPoint> ap_;
   std::unique_ptr<Gateway> gateway_;
   std::vector<ForwardedReading> server_received_;
+  std::size_t server_batches_ = 0;
 };
 
 TEST_F(GatewayTest, BridgesWiLeMessageToServer) {
@@ -179,6 +183,86 @@ TEST_F(GatewayTest, UplinkStallOverflowsQueueNewestFirst) {
   EXPECT_EQ(gw.stats().forwarded, 0u);
   EXPECT_GE(gw.stats().uplink_losses, 1u);   // the stalled send killed the link
   EXPECT_GE(gw.stats().dropped_queue_full, 3u);  // cap 2, newest retained
+}
+
+TEST_F(GatewayTest, OutageRetriesKeepOriginalOrderAcrossBatches) {
+  // Small batches so the post-recovery drain spans several send cycles:
+  // retried readings must come back out in their original order even
+  // across batch boundaries (push_front requeue, front-first refill).
+  GatewayConfig cfg;
+  cfg.station.mac = MacAddress::from_seed(0x6E7E);
+  cfg.batch_max = 2;
+  cfg.forward_retry_limit = 50;
+  Gateway gw{scheduler_, medium_, {3, 5}, cfg, Rng{85}};
+  bool ready = false;
+  gw.start([&](bool ok) { ready = ok; });
+  scheduler_.run_until(scheduler_.now() + seconds(10));
+  ASSERT_TRUE(ready);
+
+  ap_->stop();  // outage begins; the first send will die mid-pump
+
+  SenderConfig scfg;
+  scfg.device_id = 0xA00;
+  Sender sensor{scheduler_, medium_, {5, 5}, scfg, Rng{86}};
+  for (int i = 0; i < 5; ++i) {
+    sensor.send_now(Bytes{static_cast<std::uint8_t>(i)}, {});
+    scheduler_.run_until(scheduler_.now() + seconds(2));
+  }
+
+  ap_->start();  // recovery: everything drains in order, two per batch
+  scheduler_.run_until(scheduler_.now() + seconds(60));
+
+  EXPECT_GE(gw.stats().retries, 1u);
+  EXPECT_EQ(gw.stats().dropped_total, 0u);
+  EXPECT_EQ(gw.stats().forwarded, 5u);
+  ASSERT_EQ(server_received_.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(server_received_[static_cast<std::size_t>(i)].data,
+              Bytes{static_cast<std::uint8_t>(i)})
+        << "reading " << i << " out of order";
+  }
+  // batch_max 2 and 5 readings: at least one batch carried more than one.
+  EXPECT_LT(server_batches_, 5u);
+}
+
+TEST_F(GatewayTest, MidOutageEvictionKeepsNewestReadings) {
+  // The queue fills during the outage; newest-first retention must hold
+  // for requeued in-flight readings too, and the survivors must drain in
+  // order after recovery.
+  GatewayConfig cfg;
+  cfg.station.mac = MacAddress::from_seed(0x6F7E);
+  cfg.max_queue = 2;
+  cfg.forward_retry_limit = 50;
+  Gateway gw{scheduler_, medium_, {3, 6}, cfg, Rng{87}};
+  bool ready = false;
+  gw.start([&](bool ok) { ready = ok; });
+  scheduler_.run_until(scheduler_.now() + seconds(10));
+  ASSERT_TRUE(ready);
+
+  ap_->stop();
+
+  SenderConfig scfg;
+  scfg.device_id = 0xB00;
+  Sender sensor{scheduler_, medium_, {5, 6}, scfg, Rng{88}};
+  for (int i = 0; i < 6; ++i) {
+    sensor.send_now(Bytes{static_cast<std::uint8_t>(i)}, {});
+    scheduler_.run_until(scheduler_.now() + seconds(2));
+  }
+
+  EXPECT_EQ(gw.stats().received, 6u);
+  EXPECT_EQ(gw.stats().forwarded, 0u);
+  EXPECT_GE(gw.stats().dropped_queue_full, 4u);
+  EXPECT_EQ(gw.stats().dropped_total,
+            gw.stats().dropped_queue_full + gw.stats().dropped_retry_budget);
+
+  ap_->start();
+  scheduler_.run_until(scheduler_.now() + seconds(60));
+
+  // Only the two newest readings survived the cap-2 queue.
+  EXPECT_EQ(gw.stats().forwarded, 2u);
+  ASSERT_EQ(server_received_.size(), 2u);
+  EXPECT_EQ(server_received_[0].data, Bytes{4});
+  EXPECT_EQ(server_received_[1].data, Bytes{5});
 }
 
 TEST_F(GatewayTest, RecoversAndRetriesAfterMidPumpLinkLoss) {

@@ -36,8 +36,10 @@ TEST(SystemStory, EverythingCoexistsOnOneMedium) {
   std::vector<Bytes> direct_uplinks;
   ap.set_uplink_handler([&](const MacAddress&, const net::Ipv4Header&,
                             const net::UdpDatagram& udp) {
-    if (auto reading = core::ForwardedReading::decode(udp.payload)) {
-      server_rows.push_back(*reading);
+    if (auto batch = core::ForwardedBatch::decode(udp.payload)) {
+      for (core::ForwardedReading& r : batch->readings) {
+        server_rows.push_back(std::move(r));
+      }
     } else {
       direct_uplinks.push_back(udp.payload);
     }

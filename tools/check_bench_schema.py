@@ -13,7 +13,11 @@ silently reshaped file):
     must be monotone and carry a matching determinism oracle;
   * the chaos_soak campaign summary (BENCH_chaos_soak*.json) — the
     randomized fault-campaign soak, which must report zero invariant
-    violations and a passing same-seed determinism oracle.
+    violations and a passing same-seed determinism oracle;
+  * the ingest_throughput verdict (BENCH_ingest_throughput*.json) —
+    batched gateway drain vs the pre-refactor single-send pipeline,
+    which must hold the >= 3x sustained-frames/s speedup, dispatch
+    no-regression, and a passing dual-run determinism oracle.
 
 Usage: check_bench_schema.py FILE [FILE...]
 Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
@@ -63,6 +67,14 @@ CHAOS_TOP_REQUIRED = ["bench", "quick", "campaigns", "seed_base",
 # ddmin-shrunk to a replayable repro file.
 CHAOS_SHRINK_REQUIRED = ["seed", "invariant", "original_actions",
                          "minimal_actions", "runs", "repro"]
+
+INGEST_TOP_REQUIRED = ["bench", "quick", "batch_max", "drain_senders",
+                       "drain_sim_seconds", "baseline_fps", "pipeline_fps",
+                       "speedup", "baseline_forwarded", "pipeline_forwarded",
+                       "pipeline_batches", "n_devices", "frames",
+                       "dispatch_baseline_fps", "dispatch_pipeline_fps",
+                       "dispatch_speedup", "dispatch_reports",
+                       "rules_eval_fps", "rules_fired", "determinism_ok"]
 
 
 def fail(errors, msg):
@@ -245,6 +257,40 @@ def check_chaos_soak(doc, errors):
                      "diverged")
 
 
+def check_ingest(doc, errors):
+    for key in INGEST_TOP_REQUIRED:
+        if key not in doc:
+            fail(errors, f"missing top-level key {key!r}")
+    if errors:
+        return
+
+    # The acceptance criterion (ISSUE 9): batching multiplies sustained
+    # frames/s/gateway by the achieved fill against the same shipped
+    # Gateway at batch_max=1. Both numbers come out of the deterministic
+    # simulation, so the gate is noise-free.
+    if doc["speedup"] < 3.0:
+        fail(errors, f"drain speedup {doc['speedup']} below the 3x gate")
+    if doc["pipeline_fps"] < 3.0 * doc["baseline_fps"]:
+        fail(errors, "pipeline_fps does not clear 3x the single-send floor")
+    if doc["baseline_fps"] <= 0 or doc["pipeline_forwarded"] <= 0:
+        fail(errors, "no traffic drained — broken run?")
+    if doc["pipeline_batches"] <= 0:
+        fail(errors, "batched path sent no batches")
+    # Dispatch is a wall-clock no-regression guard, not a speedup claim:
+    # the flat table collapses 4 probes to 1 on rx-window frames, which
+    # on big-LLC hosts nets out to parity with the legacy maps' smaller
+    # footprint. 0.9 leaves margin for shared-runner noise.
+    if doc["dispatch_speedup"] < 0.9:
+        fail(errors, f"dispatch regressed: {doc['dispatch_speedup']}x "
+                     "against the legacy three-map replica")
+    if doc["dispatch_reports"] <= 0 or doc["rules_fired"] <= 0:
+        fail(errors, "dispatch/rules sections saw no work — broken stream?")
+    # Dual-run oracle: same seeds, same counters, same FNV-1a payload
+    # digests, and identical report decisions across both dispatch paths.
+    if doc["determinism_ok"] is not True:
+        fail(errors, "determinism oracle failed: same-seed runs diverged")
+
+
 def check_file(path):
     errors = []
     try:
@@ -261,10 +307,13 @@ def check_file(path):
         check_harvesting(doc, errors)
     elif doc.get("bench") == "chaos_soak":
         check_chaos_soak(doc, errors)
+    elif doc.get("bench") == "ingest_throughput":
+        check_ingest(doc, errors)
     else:
         errors.append("unrecognized document: not wile-telemetry-v1, "
                       "a scale_fleet runs table, an ablate_harvesting "
-                      "frontier, or a chaos_soak summary")
+                      "frontier, a chaos_soak summary, or an "
+                      "ingest_throughput verdict")
     return errors
 
 
