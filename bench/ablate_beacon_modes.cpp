@@ -9,44 +9,61 @@
 // It also sweeps the advertising payload to show where each scheme wins:
 // BLE advertising caps at 31 bytes/event while one Wi-LE beacon carries
 // 235 bytes, so Wi-LE's advantage grows with message size.
+// The Wi-LE and BLE-advertising arms run through the ScenarioBuilder
+// mode presets (TxMode::WiLeBeacon / TxMode::Ble) with auto_start off —
+// the preset assembles the same two-node wiring the bench used to hand
+// build (same seeds, same positions, same construction order), and the
+// bench drives one send_now / advertise_once by hand. Cell values are
+// output-identical to the pre-port bench. The BLE *connection* arm stays
+// hand-wired: a connection is not one of the three transmission modes.
 #include <cstdio>
 #include <optional>
 
-#include "ble/advertiser.hpp"
 #include "ble/link.hpp"
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
-#include "wile/receiver.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
 namespace {
 
+/// The shared two-node bench environment: one battery device at the
+/// origin, one mains-powered listener 2 m away, medium seeded with 1.
+sim::ScenarioBuilder bench_pair() {
+  return sim::ScenarioBuilder{}
+      .devices(1)
+      .auto_start(false)
+      .telemetry(false)
+      .timeline_max_segments(0)
+      .medium_seed(1)
+      .place_device([](int) { return sim::Position{0, 0}; })
+      .gateways(1)
+      .place_gateway([](int) { return sim::Position{2, 0}; });
+}
+
 double wile_energy_uj(std::size_t payload) {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
-  core::SenderConfig cfg;
-  core::Sender sender{scheduler, medium, {0, 0}, cfg, Rng{2}};
-  core::Receiver monitor{scheduler, medium, {2, 0}};
+  auto scenario = bench_pair()
+                      .mode(TxMode::WiLeBeacon)
+                      .device_rng([](int) { return Rng{2}; })
+                      .build();
+  core::Sender& sender = *scenario->devices().front();
   std::optional<core::SendReport> report;
   sender.send_now(Bytes(payload, 0x42), [&](const core::SendReport& r) { report = r; });
-  scheduler.run_until_idle();
-  if (monitor.stats().messages != 1) return -1.0;
+  scenario->scheduler().run_until_idle();
+  if (scenario->gateways().front()->stats().messages != 1) return -1.0;
   return in_microjoules(report->tx_only_energy);
 }
 
 double ble_adv_energy_uj(std::size_t payload, int channels) {
   if (payload > phy::BlePhy::kMaxAdvData) return -1.0;
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{1}};
-  ble::BleAdvertiserConfig cfg;
-  cfg.channels = channels;
-  ble::BleAdvertiser adv{scheduler, medium, {0, 0}, cfg};
-  ble::BleScanner scanner{scheduler, medium, {2, 0}};
+  sim::BleFleetOptions opts;
+  opts.advertiser.channels = channels;
+  opts.adv_delay_max = Duration{0};  // one-shot event; keep the legacy no-RNG path
+  auto scenario = bench_pair().ble(opts).build();
+  ble::BleAdvertiser& adv = *scenario->ble_devices().front();
+  ble::BleScanner& scanner = *scenario->ble_scanners().front();
   std::optional<ble::AdvEventReport> report;
   adv.advertise_once(Bytes(payload, 0x42), [&](const ble::AdvEventReport& r) { report = r; });
-  scheduler.run_until_idle();
+  scenario->scheduler().run_until_idle();
   if (scanner.pdus_received() == 0) return -1.0;
   return in_microjoules(report->energy);
 }

@@ -9,14 +9,16 @@
 // three designs: raw injection with perfectly synchronised clocks (worst
 // case), raw injection with realistic clock jitter (the paper's
 // hypothesis), and CSMA-deferred injection (what real chipsets do).
+// Ported onto the ScenarioBuilder mode-preset API (TxMode::WiLeBeacon is
+// the default preset): the builder replays the historical hand wiring —
+// same medium seed, same seeder draw order (ppm range draw then fork,
+// per device), same start order — so every row below is output-identical
+// to the pre-port bench.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "sim/medium.hpp"
-#include "sim/scheduler.hpp"
-#include "wile/receiver.hpp"
-#include "wile/sender.hpp"
+#include "wile/scenario.hpp"
 
 using namespace wile;
 
@@ -29,41 +31,55 @@ struct Result {
 };
 
 Result run(int n_devices, bool jitter, bool csma, std::uint64_t seed) {
-  sim::Scheduler scheduler;
-  sim::Medium medium{scheduler, phy::Channel{}, Rng{seed}};
-  core::Receiver monitor{scheduler, medium, {0, 3}};
-
-  Rng seeder{seed + 1};
-  std::vector<std::unique_ptr<core::Sender>> senders;
-  std::uint64_t cycles = 0;
   constexpr int kRounds = 60;
   const Duration period = seconds(2);
 
-  for (int i = 0; i < n_devices; ++i) {
-    core::SenderConfig cfg;
-    cfg.device_id = 1 + i;
-    cfg.period = period;
-    cfg.use_csma = csma;
-    if (jitter) {
-      cfg.clock_ppm_error = static_cast<double>(seeder.range(-40, 40));  // real XTALs
-      cfg.wake_jitter = msec(3);
-    }
-    senders.push_back(std::make_unique<core::Sender>(
-        scheduler, medium,
-        sim::Position{static_cast<double>(i % 4), static_cast<double>(i / 4)}, cfg,
-        seeder.fork()));
-    senders.back()->start_duty_cycle([&cycles] {
-      ++cycles;
-      return Bytes{0x17};
-    });
-  }
-  scheduler.run_until(TimePoint{period * (kRounds + 1) - msec(500)});
-  for (auto& s : senders) s->stop_duty_cycle();
-  scheduler.run_until(scheduler.now() + seconds(2));
+  // Shared across the builder's per-device hooks; the hook call order
+  // (configure_sender's ppm draw, then device_rng's fork, per device in
+  // index order) reproduces the legacy seeder sequence exactly.
+  auto seeder = std::make_shared<Rng>(seed + 1);
+  auto cycles = std::make_shared<std::uint64_t>(0);
 
+  auto scenario =
+      sim::ScenarioBuilder{}
+          .mode(TxMode::WiLeBeacon)
+          .devices(n_devices)
+          .duty_cycle(period)
+          .wake_jitter(jitter ? msec(3) : Duration{0})
+          .timeline_max_segments(0)
+          .stagger_starts(false)
+          .telemetry(false)
+          .medium_seed(seed)
+          .gateways(1)
+          .place_gateway([](int) { return sim::Position{0, 3}; })
+          .place_device([](int i) {
+            return sim::Position{static_cast<double>(i % 4),
+                                 static_cast<double>(i / 4)};
+          })
+          .configure_sender([seeder, jitter, csma](core::SenderConfig& cfg, int) {
+            cfg.use_csma = csma;
+            if (jitter) {
+              cfg.clock_ppm_error =
+                  static_cast<double>(seeder->range(-40, 40));  // real XTALs
+            }
+          })
+          .device_rng([seeder](int) { return seeder->fork(); })
+          .payload_provider([cycles](int) -> core::Sender::PayloadProvider {
+            return [cycles] {
+              ++*cycles;
+              return Bytes{0x17};
+            };
+          })
+          .build();
+
+  scenario->run_until(TimePoint{period * (kRounds + 1) - msec(500)});
+  scenario->stop_all();
+  scenario->run_for(seconds(2));
+
+  const core::Receiver& monitor = *scenario->gateways().front();
   Result r;
   r.delivered = monitor.stats().messages;
-  r.expected = cycles;
+  r.expected = *cycles;
   r.collisions = monitor.stats().collisions_observed;
   return r;
 }

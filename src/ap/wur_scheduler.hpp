@@ -1,0 +1,95 @@
+// AP-originated 802.11ba wake-up frame scheduling.
+//
+// The access point (mains-powered, so no power timeline here) owns the
+// wake cadence for a fleet of WUR companions: unicast wakes round-robin
+// over the fleet's 12-bit WUR IDs, or a periodic group wake that fires
+// every member at once. Wake-up frames are ordinary medium traffic —
+// they contend through the shared CSMA/DCF path like any broadcast
+// (their 20 us legacy preamble is exactly what makes normal stations
+// defer to them), collide with Wi-LE beacons, and cross shard
+// boundaries as RemoteTx phantoms with no special handling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/wur_phy.hpp"
+#include "sim/csma.hpp"
+#include "sim/medium.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace wile::ap {
+
+struct WurSchedulerConfig {
+  phy::WurRate rate = phy::WurRate::kHigh;
+  /// Wake frames go out at AP power: the OOK envelope detector is far
+  /// less sensitive than the main radio, so the downlink wake needs the
+  /// link budget the uplink beacon does not.
+  double tx_power_dbm = 20.0;
+  /// Back-to-back repeats of every wake frame (same sequence number, so
+  /// companions dedupe; repeats only buy delivery probability).
+  int repeats = 1;
+};
+
+class WurScheduler : public sim::MediumClient {
+ public:
+  using Config = WurSchedulerConfig;
+
+  WurScheduler(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
+               Rng rng, Config config = {});
+
+  /// One-shot unicast wake of a single companion receiver.
+  void wake(std::uint16_t wur_id);
+  /// One-shot multicast wake of every member of `group_id`.
+  void wake_group(std::uint16_t group_id);
+
+  /// Fixed-cadence round robin over a fleet: one unicast wake every
+  /// `sweep_period / ids.size()`, first one gap in. The cadence is
+  /// anchored to absolute times (schedule_at), so CSMA deferral of one
+  /// frame never skews when the next is queued — the polling rate each
+  /// device experiences is sweep_period exactly.
+  void start_round_robin(std::vector<std::uint16_t> ids, Duration sweep_period);
+
+  /// Periodic group wake every `period`, first one period in.
+  void start_group_cadence(std::uint16_t group_id, Duration period);
+
+  /// Cancel any running cadence (in-flight frames still leave the antenna).
+  void stop();
+
+  [[nodiscard]] std::uint64_t wakes_sent() const { return wakes_sent_; }
+  [[nodiscard]] Duration tx_airtime_total() const { return tx_airtime_total_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // --- sim::MediumClient -----------------------------------------------------
+  /// Transmit-only: the WUR downlink has no receive path at the AP.
+  void on_frame(const sim::RxFrame&) override {}
+  [[nodiscard]] bool rx_enabled() const override { return false; }
+
+ private:
+  void send_wake(phy::WakeUpFrame frame);
+  void schedule_next_tick();
+
+  sim::Scheduler& scheduler_;
+  sim::Medium& medium_;
+  Config config_;
+  sim::NodeId node_id_;
+  std::unique_ptr<sim::Csma> csma_;
+
+  // Cadence state: a round robin and a group cadence are mutually
+  // exclusive; starting either (or stop()) strands the previous
+  // campaign's scheduled ticks via the epoch.
+  std::uint64_t campaign_epoch_ = 0;
+  std::vector<std::uint16_t> rr_ids_;
+  std::size_t rr_index_ = 0;
+  std::uint16_t cadence_group_ = 0;
+  Duration tick_gap_{};
+  TimePoint next_tick_at_{};
+
+  std::uint8_t seq_ = 0;
+  std::uint64_t wakes_sent_ = 0;
+  Duration tx_airtime_total_{};
+};
+
+}  // namespace wile::ap

@@ -5,11 +5,12 @@
 namespace wile::ble {
 
 BleAdvertiser::BleAdvertiser(sim::Scheduler& scheduler, sim::Medium& medium,
-                             sim::Position position, BleAdvertiserConfig config)
+                             sim::Position position, BleAdvertiserConfig config, Rng rng)
     : scheduler_(scheduler),
       medium_(medium),
       config_(config),
-      timeline_(config.power.supply) {
+      timeline_(config.power.supply),
+      rng_(rng) {
   if (config_.channels < 1 || config_.channels > 3) {
     throw std::invalid_argument("BleAdvertiser: channels must be 1..3");
   }
@@ -28,7 +29,14 @@ void BleAdvertiser::start(PayloadProvider provider, EventCallback per_event) {
 void BleAdvertiser::schedule_event_loop() {
   // Cadence is wake-to-wake; an advertising event lasts a few ms and the
   // spec's minimum interval is 100 ms, so events never overlap.
-  scheduler_.schedule_in(config_.adv_interval, [this] {
+  Duration interval = config_.adv_interval;
+  if (config_.adv_delay_max.count() > 0) {
+    // Spec advDelay: perturb each event so co-periodic advertisers
+    // cannot collide forever (pure ALOHA needs this to be honest).
+    interval += Duration{static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(config_.adv_delay_max.count()) + 1))};
+  }
+  scheduler_.schedule_in(interval, [this] {
     if (!running_) return;
     schedule_event_loop();
     run_event(provider_(), [this](const AdvEventReport& r) {

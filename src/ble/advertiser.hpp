@@ -18,6 +18,7 @@
 #include "power/timeline.hpp"
 #include "sim/medium.hpp"
 #include "sim/scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace wile::ble {
 
@@ -29,6 +30,11 @@ struct BleAdvertiserConfig {
   /// Radio retune time between the per-channel transmissions.
   Duration channel_hop_time = usec(400);
   double tx_power_dbm = 0.0;
+  /// Spec advDelay: a uniform pseudo-random delay in [0, adv_delay_max]
+  /// added to every advertising interval (Core v4.2 Vol 6 Part B §4.4.2.2
+  /// prescribes 0-10 ms) so co-periodic advertisers drift apart. Zero =
+  /// fixed cadence — the legacy behaviour, with no RNG draws at all.
+  Duration adv_delay_max{};
   power::Cc2541PowerProfile power{};
 };
 
@@ -42,8 +48,10 @@ struct AdvEventReport {
 
 class BleAdvertiser : public sim::MediumClient {
  public:
+  /// `rng` feeds the advDelay draw only; the default keeps legacy
+  /// fixed-cadence advertisers free of any randomness.
   BleAdvertiser(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
-                BleAdvertiserConfig config);
+                BleAdvertiserConfig config, Rng rng = Rng{0});
 
   using PayloadProvider = std::function<Bytes()>;  // <= 31 bytes AdvData
   using EventCallback = std::function<void(const AdvEventReport&)>;
@@ -72,6 +80,7 @@ class BleAdvertiser : public sim::MediumClient {
   BleAdvertiserConfig config_;
   sim::NodeId node_id_;
   power::PowerTimeline timeline_;
+  Rng rng_;
 
   bool running_ = false;
   std::uint64_t events_ = 0;

@@ -1,0 +1,89 @@
+// IEEE 802.11ba wake-up radio (WUR) PHY timing and frame codec.
+//
+// The WUR PPDU rides inside a regular 20 MHz 802.11 channel: a 20 us
+// legacy preamble (L-STF + L-LTF + L-SIG, so legacy stations defer) and
+// a 4 us BPSK-Mark symbol, then a WUR-Sync field and an OOK body in a
+// 4 MHz subchannel. Two data rates are defined: low (62.5 kb/s, 16 us
+// per bit, 128 us sync) and high (250 kb/s, 4 us per bit, 64 us sync).
+// The wake-up frame body we model is the minimal 48-bit frame from the
+// 802.11ba performance-evaluation literature: frame control, an
+// address field carrying a 12-bit WUR ID (unicast) or group ID
+// (multicast), a sequence counter, and an FCS.
+//
+// The companion receiver that decodes this waveform is a separate
+// uW-class circuit (power::WurReceiverModel in power/devices.hpp); the
+// main 802.11 radio stays in deep sleep until a matching frame arrives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_buffer.hpp"
+#include "util/units.hpp"
+
+namespace wile::phy {
+
+/// 802.11ba data rates for the OOK body.
+enum class WurRate : std::uint8_t {
+  kLow = 0,   // 62.5 kb/s: 16 us/bit, 128 us WUR-Sync
+  kHigh = 1,  // 250 kb/s:   4 us/bit,  64 us WUR-Sync
+};
+
+struct WurPhy {
+  /// 802.11 legacy preamble (L-STF + L-LTF + L-SIG) that makes WUR
+  /// PPDUs defer-able by ordinary stations.
+  static constexpr Duration kLegacyPreamble = Duration{20};
+  /// BPSK-Mark symbol following the legacy preamble (802.11ba D3.0).
+  static constexpr Duration kBpskMark = Duration{4};
+  static constexpr Duration kSyncLow = Duration{128};
+  static constexpr Duration kSyncHigh = Duration{64};
+  /// Wake-up frame body: FC(8) + flags(8) + address(16) + seq(8) + FCS(8).
+  static constexpr std::size_t kFrameBodyBits = 48;
+  /// Encoded wake-up frame body in bytes (kFrameBodyBits / 8).
+  static constexpr std::size_t kFrameBytes = kFrameBodyBits / 8;
+  /// WUR IDs and group IDs are 12-bit (802.11ba address space).
+  static constexpr std::uint16_t kMaxId = 0x0FFF;
+
+  static constexpr Duration bit_time(WurRate rate) {
+    return rate == WurRate::kLow ? Duration{16} : Duration{4};
+  }
+
+  static constexpr Duration sync_time(WurRate rate) {
+    return rate == WurRate::kLow ? kSyncLow : kSyncHigh;
+  }
+
+  /// Airtime of a WUR PPDU carrying `body_bits` of OOK payload.
+  static constexpr Duration ppdu_airtime(std::size_t body_bits, WurRate rate) {
+    return kLegacyPreamble + kBpskMark + sync_time(rate) +
+           Duration{static_cast<std::int64_t>(body_bits) * bit_time(rate).count()};
+  }
+
+  /// Airtime of the standard 48-bit wake-up frame: 920 us at the low
+  /// rate, 280 us at the high rate.
+  static constexpr Duration frame_airtime(WurRate rate) {
+    return ppdu_airtime(kFrameBodyBits, rate);
+  }
+};
+
+/// A decoded 802.11ba wake-up frame.
+struct WakeUpFrame {
+  /// True = `address` is a group ID (wakes every member); false =
+  /// unicast WUR ID of one companion receiver.
+  bool group_addressed = false;
+  std::uint16_t address = 0;  // 12-bit WUR ID or group ID
+  std::uint8_t seq = 0;       // wake-frame sequence counter
+
+  friend bool operator==(const WakeUpFrame&, const WakeUpFrame&) = default;
+};
+
+/// Serialize a wake-up frame to its 6-byte on-air body. Addresses are
+/// masked to 12 bits.
+Bytes encode_wakeup_frame(const WakeUpFrame& frame);
+
+/// Parse a 6-byte wake-up frame body. Returns nullopt when the buffer
+/// is not a WUR frame (wrong length, frame control, or FCS) — Wi-LE
+/// beacons and 802.11 MPDUs never alias into a valid WUR frame because
+/// of the magic frame-control byte plus checksum.
+std::optional<WakeUpFrame> decode_wakeup_frame(BytesView body);
+
+}  // namespace wile::phy

@@ -65,6 +65,19 @@ struct Esp32PowerProfile {
   Duration shutdown_time = msec(25);
 };
 
+/// 802.11ba wake-up radio companion receiver. A separate uW-class OOK
+/// envelope detector that listens continuously while the main 802.11
+/// radio is in deep sleep; the 30 uA figure (99 uW at 3.3 V) sits in
+/// the middle of the duty-cycled receiver designs surveyed by the IEEE
+/// 802.11ba performance-evaluation literature, which targets < 1 mW.
+struct WurReceiverModel {
+  /// Always-on listen draw of the companion receiver.
+  Amps listen = microamps(30.0);
+  /// Companion-receiver decode + main-radio wake interrupt latency
+  /// between the end of a wake-up frame and firmware boot starting.
+  Duration wake_latency = usec(200);
+};
+
 struct Cc2541PowerProfile {
   Volts supply{3.0};
 

@@ -28,20 +28,33 @@ class RadioPowerTracker {
   void set_phase(Amps baseline, std::string label) {
     baseline_ = baseline;
     label_ = std::move(label);
-    if (tx_nesting_ == 0) timeline_.set_current(scheduler_.now(), baseline_, label_);
+    if (tx_nesting_ == 0) timeline_.set_current(scheduler_.now(), baseline_ + overlay_, label_);
   }
 
   [[nodiscard]] const std::string& phase_label() const { return label_; }
+
+  /// Always-on companion-circuit draw (the 802.11ba wake-up receiver)
+  /// added on top of every phase baseline and TX burst. Defaults to an
+  /// exact zero so devices without a companion radio emit bit-identical
+  /// timelines. A brown-out clears it (the whole board is dark) and
+  /// recovery restores it.
+  void set_overlay(Amps overlay, std::string label = {}) {
+    overlay_ = overlay;
+    if (!label.empty()) label_ = std::move(label);
+    if (tx_nesting_ == 0) timeline_.set_current(scheduler_.now(), baseline_ + overlay_, label_);
+  }
+
+  [[nodiscard]] Amps overlay() const { return overlay_; }
 
   /// A transmission starts now and occupies the air for `airtime`; the PA
   /// stays hot for the configured ramp after it. `current` overrides the
   /// default TX draw (legacy-rate frames burn more on the real chip).
   void on_tx_start(Duration airtime, std::optional<Amps> current = std::nullopt) {
     ++tx_nesting_;
-    timeline_.set_current(scheduler_.now(), current.value_or(tx_current_), label_);
+    timeline_.set_current(scheduler_.now(), current.value_or(tx_current_) + overlay_, label_);
     scheduler_.schedule_in(airtime + tx_ramp_, [this] {
       if (--tx_nesting_ == 0) {
-        timeline_.set_current(scheduler_.now(), baseline_, label_);
+        timeline_.set_current(scheduler_.now(), baseline_ + overlay_, label_);
       }
     });
   }
@@ -52,6 +65,7 @@ class RadioPowerTracker {
   Amps tx_current_;
   Duration tx_ramp_;
   Amps baseline_{};
+  Amps overlay_{};
   std::string label_ = "Sleep";
   int tx_nesting_ = 0;
 };

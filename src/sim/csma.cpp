@@ -24,6 +24,17 @@ void Csma::send(Bytes mpdu, phy::WifiRate rate, bool expect_ack, DoneCallback do
   if (!busy_) start_next();
 }
 
+void Csma::send_raw(Bytes mpdu, Duration airtime, DoneCallback done) {
+  Pending p;
+  p.mpdu = std::move(mpdu);
+  p.expect_ack = false;
+  p.done = std::move(done);
+  p.raw_airtime = airtime;
+  p.cw = config_.cw_min;
+  queue_.push_back(std::move(p));
+  if (!busy_) start_next();
+}
+
 void Csma::start_next() {
   if (queue_.empty()) return;
   busy_ = true;
@@ -158,9 +169,14 @@ void Csma::transmit_data() {
   } else {
     req.mpdu = current_->mpdu;
   }
-  req.airtime = phy::frame_airtime(current_->mpdu.size(), current_->rate, config_.band);
+  if (current_->raw_airtime) {
+    req.airtime = *current_->raw_airtime;
+    req.rate = std::nullopt;
+  } else {
+    req.airtime = phy::frame_airtime(current_->mpdu.size(), current_->rate, config_.band);
+    req.rate = current_->rate;
+  }
   req.tx_power_dbm = config_.tx_power_dbm;
-  req.rate = current_->rate;
   req.on_complete = [this] { on_tx_complete(); };
   if (tx_listener_) tx_listener_(req.airtime, current_->rate);
   medium_.transmit(self_, std::move(req));

@@ -59,6 +59,13 @@ class Csma {
   void send(Bytes mpdu, phy::WifiRate rate, bool expect_ack, DoneCallback done,
             std::optional<RtsAddresses> rts = std::nullopt);
 
+  /// Queue a frame whose airtime does not follow the 802.11 rate table —
+  /// the 802.11ba WUR PPDU's OOK body, whose duration the caller computes
+  /// from phy::WurPhy. The frame contends exactly like any broadcast
+  /// (DIFS + backoff, no ACK) and is put on the medium with no WiFi rate,
+  /// so receivers apply the non-OFDM error model.
+  void send_raw(Bytes mpdu, Duration airtime, DoneCallback done);
+
   /// The owner observed an ACK addressed to this station.
   void notify_ack();
 
@@ -95,6 +102,9 @@ class Csma {
     bool expect_ack = false;
     DoneCallback done;
     std::optional<RtsAddresses> rts;
+    /// Explicit airtime for non-802.11-rate waveforms (WUR OOK); when
+    /// set the frame goes out with no WiFi rate attached.
+    std::optional<Duration> raw_airtime;
     int transmissions = 0;
     int cw = 0;
   };

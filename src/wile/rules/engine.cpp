@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "wile/rules/extractors.hpp"
+
 namespace wile::rules {
 
 std::string_view node_kind_name(NodeKind k) {
@@ -15,20 +17,8 @@ std::string_view node_kind_name(NodeKind k) {
   return "node";
 }
 
-namespace {
-
-std::optional<double> default_extract(const core::Message& message) {
-  if (message.data.size() >= 2) {
-    return static_cast<double>(message.data[0] |
-                               (static_cast<std::uint32_t>(message.data[1]) << 8));
-  }
-  if (message.data.size() == 1) return static_cast<double>(message.data[0]);
-  return std::nullopt;
-}
-
-}  // namespace
-
-Engine::Engine(std::vector<RuleSpec> specs) : extract_(default_extract) {
+Engine::Engine(std::vector<RuleSpec> specs)
+    : extract_(ExtractorRegistry::global().get(ExtractorRegistry::kDefault)) {
   rules_.reserve(specs.size());
   for (RuleSpec& spec : specs) {
     Rule rule;
@@ -43,6 +33,10 @@ Engine::Engine(std::vector<RuleSpec> specs) : extract_(default_extract) {
     if (rule.spec.cooldown.count() > 0) rule.cooldown_node = add_node(NodeKind::Cooldown);
     rules_.push_back(std::move(rule));
   }
+}
+
+void Engine::set_value_extractor(std::string_view name) {
+  extract_ = ExtractorRegistry::global().get(name);
 }
 
 bool Engine::compare(double lhs, Cmp cmp, double rhs) {

@@ -111,11 +111,15 @@ class Engine {
   void set_fire_callback(FireCallback cb) { on_fire_ = std::move(cb); }
 
   /// How to turn a message payload into the scalar Value conditions and
-  /// aggregates read. The default decodes little-endian unsigned from
-  /// the first bytes: u16le when the payload has >= 2 bytes, the single
-  /// byte when it has 1, nothing when empty.
+  /// aggregates read. The default is ExtractorRegistry::kDefault
+  /// ("u16le"): little-endian unsigned from the first bytes — u16le when
+  /// the payload has >= 2 bytes, the single byte when it has 1, nothing
+  /// when empty (the historical hard-coded decode, unchanged).
   using ValueExtractor = std::function<std::optional<double>(const core::Message&)>;
   void set_value_extractor(ValueExtractor fn) { extract_ = std::move(fn); }
+  /// Named form: resolve through ExtractorRegistry::global(). Throws
+  /// std::out_of_range on unknown names.
+  void set_value_extractor(std::string_view name);
 
   /// Feed one decoded gateway message (convenience over on_reading).
   void on_message(const core::Message& message, double rssi_dbm, TimePoint at);

@@ -1,0 +1,110 @@
+#include "wile/rules/extractors.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace wile::rules {
+
+namespace {
+
+// The historical engine.cpp decode, verbatim semantics: u16le when two
+// bytes exist, the lone byte when one does, no value otherwise.
+std::optional<double> extract_u16le(const core::Message& message) {
+  if (message.data.size() >= 2) {
+    return static_cast<double>(message.data[0] |
+                               (static_cast<std::uint32_t>(message.data[1]) << 8));
+  }
+  if (message.data.size() == 1) return static_cast<double>(message.data[0]);
+  return std::nullopt;
+}
+
+std::optional<double> extract_u8(const core::Message& message) {
+  if (message.data.empty()) return std::nullopt;
+  return static_cast<double>(message.data[0]);
+}
+
+std::optional<double> extract_i16le(const core::Message& message) {
+  if (message.data.size() < 2) return std::nullopt;
+  const auto raw = static_cast<std::uint16_t>(
+      message.data[0] | (static_cast<std::uint32_t>(message.data[1]) << 8));
+  return static_cast<double>(static_cast<std::int16_t>(raw));
+}
+
+std::optional<double> extract_u32le(const core::Message& message) {
+  if (message.data.size() < 4) return std::nullopt;
+  std::uint32_t raw = 0;
+  for (int i = 3; i >= 0; --i) {
+    raw = (raw << 8) | message.data[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(raw);
+}
+
+std::optional<double> extract_f32le(const core::Message& message) {
+  if (message.data.size() < 4) return std::nullopt;
+  std::uint32_t raw = 0;
+  for (int i = 3; i >= 0; --i) {
+    raw = (raw << 8) | message.data[static_cast<std::size_t>(i)];
+  }
+  float value = 0.0F;
+  static_assert(sizeof(value) == sizeof(raw));
+  std::memcpy(&value, &raw, sizeof(value));
+  return static_cast<double>(value);
+}
+
+std::optional<double> extract_len(const core::Message& message) {
+  return static_cast<double>(message.data.size());
+}
+
+}  // namespace
+
+ExtractorRegistry::ExtractorRegistry() {
+  register_extractor(kDefault, extract_u16le);
+  register_extractor("u8", extract_u8);
+  register_extractor("i16le", extract_i16le);
+  register_extractor("u32le", extract_u32le);
+  register_extractor("f32le", extract_f32le);
+  register_extractor("len", extract_len);
+}
+
+void ExtractorRegistry::register_extractor(std::string name, Extractor fn) {
+  if (name.empty()) {
+    throw std::invalid_argument("ExtractorRegistry: empty extractor name");
+  }
+  if (!fn) {
+    throw std::invalid_argument("ExtractorRegistry: null extractor for '" + name + "'");
+  }
+  for (auto& [existing, existing_fn] : entries_) {
+    if (existing == name) {
+      existing_fn = std::move(fn);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(fn));
+}
+
+const Extractor* ExtractorRegistry::find(std::string_view name) const {
+  for (const auto& [existing, fn] : entries_) {
+    if (existing == name) return &fn;
+  }
+  return nullptr;
+}
+
+Extractor ExtractorRegistry::get(std::string_view name) const {
+  if (const Extractor* fn = find(name)) return *fn;
+  throw std::out_of_range("ExtractorRegistry: unknown extractor '" +
+                          std::string(name) + "'");
+}
+
+std::vector<std::string> ExtractorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, fn] : entries_) out.push_back(name);
+  return out;
+}
+
+ExtractorRegistry& ExtractorRegistry::global() {
+  static ExtractorRegistry instance;
+  return instance;
+}
+
+}  // namespace wile::rules

@@ -1,0 +1,67 @@
+// Typed value-extractor registry for the rules engine.
+//
+// A rule's Value field is whatever scalar the engine decodes out of the
+// message payload. That decode used to be one hard-coded lambda inside
+// engine.cpp (little-endian u16 from the first two bytes) with a raw
+// std::function escape hatch. The registry makes the decode a named,
+// typed choice instead:
+//
+//   engine.set_value_extractor("f32le");            // by name
+//   ExtractorRegistry::global().register_extractor( // or bring your own
+//       "my_sensor", [](const core::Message& m) { ... });
+//
+// The legacy decoder is registered under ExtractorRegistry::kDefault and
+// installed by the Engine constructor, so existing rule chains are
+// bit-identical: same function semantics, same fires, same counters.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "wile/message.hpp"
+
+namespace wile::rules {
+
+/// Decode one message payload into the scalar that Value conditions and
+/// aggregates read; nullopt = "no value" (Value conditions then fail).
+using Extractor = std::function<std::optional<double>(const core::Message&)>;
+
+class ExtractorRegistry {
+ public:
+  /// The legacy engine decode: little-endian u16 from the first two
+  /// payload bytes, the single byte when the payload has exactly one,
+  /// nothing when it is empty.
+  static constexpr const char* kDefault = "u16le";
+
+  /// Constructed with the built-ins registered: u16le (default), u8,
+  /// i16le, u32le, f32le (IEEE-754 from the first four bytes), len
+  /// (payload size in bytes).
+  ExtractorRegistry();
+
+  /// Register or replace a named extractor. Throws on empty name/fn.
+  void register_extractor(std::string name, Extractor fn);
+
+  /// Null when the name is unknown.
+  [[nodiscard]] const Extractor* find(std::string_view name) const;
+  /// Throws std::out_of_range on unknown names (the misspelled-name
+  /// failure should be loud, not a silently valueless rule chain).
+  [[nodiscard]] Extractor get(std::string_view name) const;
+
+  /// Registered names in registration order (deterministic).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The process-wide registry the Engine consults. Scenarios normally
+  /// extend this one; tests can build private instances.
+  static ExtractorRegistry& global();
+
+ private:
+  // Registration-ordered vector, not a hash map: lookup happens once per
+  // set_value_extractor call, and iteration order must be deterministic.
+  std::vector<std::pair<std::string, Extractor>> entries_;
+};
+
+}  // namespace wile::rules

@@ -25,6 +25,13 @@ ScenarioBuilder& ScenarioBuilder::payload(Bytes fixed) {
 
 std::unique_ptr<Scenario> ScenarioBuilder::build() const {
   if (n_devices_ < 0) throw std::invalid_argument("ScenarioBuilder: devices < 0");
+  if (mode_ == TxMode::Wur && wur_opts_.group_id == 0 &&
+      n_devices_ > static_cast<int>(phy::WurPhy::kMaxId)) {
+    // Unicast WUR IDs are 12-bit; a bigger fleet would alias wake frames.
+    throw std::invalid_argument(
+        "ScenarioBuilder: unicast WUR round-robin supports at most 4095 "
+        "devices (12-bit ID space); use a group_id for larger fleets");
+  }
   if (threads_ > 0) {
     // These subsystems hold a reference to THE scheduler/medium and run
     // unsynchronized callbacks; the sharded engine has neither a single
@@ -46,7 +53,9 @@ Scenario::Scenario(const ScenarioBuilder& b)
       // Derived, not equal to any seed the medium/devices use: the fault
       // injector's rng must not alias theirs.
       fault_seed_(b.master_seed_ ^ 0x0FA1'7000),
-      user_on_message_(b.on_message_) {
+      mode_(b.mode_),
+      user_on_message_(b.on_message_),
+      user_on_adv_(b.on_adv_) {
   if (b.threads_ > 0) {
     build_parallel(b);
     return;
@@ -56,7 +65,14 @@ Scenario::Scenario(const ScenarioBuilder& b)
   tracer_.set_enabled(b.trace_);
   if (!b.rules_.empty()) {
     rules_engine_ = std::make_unique<rules::Engine>(b.rules_);
+    if (b.rules_extractor_) rules_engine_->set_value_extractor(*b.rules_extractor_);
     if (b.rules_poll_period_) schedule_rules_poll(*b.rules_poll_period_);
+  }
+  if (mode_ == TxMode::Ble) {
+    // A BLE fleet shares the environment ritual (grid, stagger, gateway
+    // slots, telemetry names) but none of the Wi-LE node types.
+    build_ble(b);
+    return;
   }
 
   // --- devices: exact scale_fleet wiring order -------------------------------
@@ -81,6 +97,14 @@ Scenario::Scenario(const ScenarioBuilder& b)
     cfg.wake_jitter = b.wake_jitter_;
     cfg.timeline_max_segments = b.timeline_max_segments_;
     if (b.harvesting_) cfg.harvesting = b.harvesting_;
+    if (mode_ == TxMode::Wur) {
+      // Mode-preset default; configure_sender below can still override
+      // any of it per device (e.g. a custom receiver model).
+      core::WurCompanionConfig wur;
+      wur.group_id = b.wur_opts_.group_id;
+      wur.receiver = b.wur_opts_.receiver;
+      cfg.wur = wur;
+    }
     if (b.configure_sender_) b.configure_sender_(cfg, i);
 
     const Position pos = b.place_device_
@@ -107,7 +131,12 @@ Scenario::Scenario(const ScenarioBuilder& b)
         fn(i, r);
       };
     }
-    if (b.stagger_) {
+    if (cfg.wur) {
+      // The AP owns the cadence: arm the companion receiver instead of
+      // scheduling a local duty-cycle timer (no stagger — the device
+      // transmits only when woken).
+      s->arm_wur(std::move(provider), std::move(per_cycle));
+    } else if (b.stagger_) {
       // Stagger duty-cycle starts uniformly across one period so the
       // fleet doesn't wake in a single thundering herd at t=0.
       const auto start_us = static_cast<std::int64_t>(
@@ -145,6 +174,33 @@ Scenario::Scenario(const ScenarioBuilder& b)
         });
   }
 
+  // --- WUR access point ------------------------------------------------------
+  // Built after the fleet so round-robin can collect the derived WUR
+  // IDs in device order. Transmit-only (rx_enabled false), so attaching
+  // it never adds medium RNG draws for frames it merely overhears.
+  if (mode_ == TxMode::Wur && n > 0) {
+    const Position ap_pos = b.wur_opts_.ap_position
+                                ? *b.wur_opts_.ap_position
+                                : Position{extent / 2.0, extent / 2.0};
+    // Derived seed: the AP's CSMA backoff stream must alias neither the
+    // device forks nor the medium stream.
+    wur_ap_ = std::make_unique<ap::WurScheduler>(scheduler_, medium_, ap_pos,
+                                                 Rng{b.master_seed_ ^ 0x11BA'0000},
+                                                 b.wur_opts_.scheduler);
+    if (b.auto_start_) {
+      const Duration cadence =
+          b.wur_opts_.cadence.count() > 0 ? b.wur_opts_.cadence : b.period_;
+      if (b.wur_opts_.group_id != 0) {
+        wur_ap_->start_group_cadence(b.wur_opts_.group_id, cadence);
+      } else {
+        std::vector<std::uint16_t> ids;
+        ids.reserve(senders_.size());
+        for (auto& s : senders_) ids.push_back(s->wur_id());
+        wur_ap_->start_round_robin(std::move(ids), cadence);
+      }
+    }
+  }
+
   // --- fault schedule --------------------------------------------------------
   // Runs after every device exists (so the injector already holds the
   // fleet's energy targets) and before telemetry, matching the hand
@@ -172,6 +228,13 @@ Scenario::Scenario(const ScenarioBuilder& b)
   registry_.bind_gauge_fn("fleet.gateways", [this] {
     return static_cast<double>(receivers_.size());
   });
+  if (wur_ap_) {
+    registry_.bind_counter_fn("wur.ap.wakes_sent",
+                              [this] { return wur_ap_->wakes_sent(); });
+    registry_.bind_gauge_fn("wur.ap.tx_airtime_us", [this] {
+      return static_cast<double>(wur_ap_->tx_airtime_total().count());
+    });
+  }
   if (rules_engine_) rules_engine_->publish_metrics(registry_, "rules");
 
   if (b.per_node_) {
@@ -197,6 +260,10 @@ Scenario::Scenario(const ScenarioBuilder& b)
 // function of position and shard count, never of thread count, which
 // is what makes digests comparable across threads={1,2,4}.
 void Scenario::build_parallel(const ScenarioBuilder& b) {
+  if (mode_ == TxMode::Ble) {
+    build_ble_parallel(b);
+    return;
+  }
   const int n = b.n_devices_;
   const std::size_t n_shards = b.shards_;
   const int side =
@@ -234,6 +301,12 @@ void Scenario::build_parallel(const ScenarioBuilder& b) {
     cfg.wake_jitter = b.wake_jitter_;
     cfg.timeline_max_segments = b.timeline_max_segments_;
     if (b.harvesting_) cfg.harvesting = b.harvesting_;
+    if (mode_ == TxMode::Wur) {
+      core::WurCompanionConfig wur;
+      wur.group_id = b.wur_opts_.group_id;
+      wur.receiver = b.wur_opts_.receiver;
+      cfg.wur = wur;
+    }
     if (b.configure_sender_) b.configure_sender_(cfg, i);
 
     const Position pos = b.place_device_
@@ -257,7 +330,9 @@ void Scenario::build_parallel(const ScenarioBuilder& b) {
         fn(i, r);
       };
     }
-    if (b.stagger_) {
+    if (cfg.wur) {
+      s->arm_wur(std::move(provider), std::move(per_cycle));
+    } else if (b.stagger_) {
       const auto start_us = static_cast<std::int64_t>(
           (static_cast<std::uint64_t>(i) * period_us) /
           static_cast<std::uint64_t>(n));
@@ -291,6 +366,31 @@ void Scenario::build_parallel(const ScenarioBuilder& b) {
           ++*counter;
           if (user_on_message_) user_on_message_(msg, meta);
         });
+  }
+
+  // WUR AP: attaches to the shard its position falls in; wake frames to
+  // devices on other shards ride the engine's boundary-transmission
+  // phantoms like any other cross-shard traffic.
+  if (mode_ == TxMode::Wur && n > 0) {
+    const Position ap_pos = b.wur_opts_.ap_position
+                                ? *b.wur_opts_.ap_position
+                                : Position{extent / 2.0, extent / 2.0};
+    ShardRuntime& rt = shard_runtimes_[partition.shard_of(ap_pos.x_m)];
+    wur_ap_ = std::make_unique<ap::WurScheduler>(*rt.scheduler, *rt.medium, ap_pos,
+                                                 Rng{b.master_seed_ ^ 0x11BA'0000},
+                                                 b.wur_opts_.scheduler);
+    if (b.auto_start_) {
+      const Duration cadence =
+          b.wur_opts_.cadence.count() > 0 ? b.wur_opts_.cadence : b.period_;
+      if (b.wur_opts_.group_id != 0) {
+        wur_ap_->start_group_cadence(b.wur_opts_.group_id, cadence);
+      } else {
+        std::vector<std::uint16_t> ids;
+        ids.reserve(senders_.size());
+        for (auto& s : senders_) ids.push_back(s->wur_id());
+        wur_ap_->start_round_robin(std::move(ids), cadence);
+      }
+    }
   }
 
   std::vector<ParallelEngine::Shard> shards;
@@ -333,6 +433,13 @@ void Scenario::build_parallel(const ScenarioBuilder& b) {
   registry_.bind_gauge_fn("fleet.gateways", [this] {
     return static_cast<double>(receivers_.size());
   });
+  if (wur_ap_) {
+    registry_.bind_counter_fn("wur.ap.wakes_sent",
+                              [this] { return wur_ap_->wakes_sent(); });
+    registry_.bind_gauge_fn("wur.ap.tx_airtime_us", [this] {
+      return static_cast<double>(wur_ap_->tx_airtime_total().count());
+    });
+  }
 
   registry_.bind_gauge_fn("parallel.threads", [this] {
     return static_cast<double>(engine_->threads());
@@ -366,6 +473,214 @@ void Scenario::build_parallel(const ScenarioBuilder& b) {
       r->publish_metrics(registry_, node_prefix(r->node_id(), "receiver"));
     }
   }
+}
+
+// TxMode::Ble, serial engine. Shares the environment ritual with the
+// Wi-LE loop — same grid, same diagonal gateway slots, same staggered
+// start times, same master.fork() per device in index order (so device
+// i draws the same RNG stream in every mode) — but populates the fleet
+// with BleAdvertisers and the gateway slots with BleScanners.
+void Scenario::build_ble(const ScenarioBuilder& b) {
+  const int n = b.n_devices_;
+  const int side =
+      n > 0 ? static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) : 1;
+  const double extent = side * b.spacing_m_;
+  const auto period_us =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     b.period_)
+                                     .count());
+
+  Rng master{b.master_seed_};
+  ble_advertisers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ble::BleAdvertiserConfig cfg = b.ble_opts_.advertiser;
+    cfg.address = MacAddress::from_seed(0xB1E0'0000u + static_cast<std::uint64_t>(i) + 1);
+    cfg.adv_interval = b.period_;
+    cfg.adv_delay_max = b.ble_opts_.adv_delay_max;
+
+    const Position pos = b.place_device_
+                             ? b.place_device_(i)
+                             : Position{(i % side) * b.spacing_m_,
+                                        (i / side) * b.spacing_m_};
+    Rng rng = master.fork();  // advDelay stream; same fork discipline
+    ble_advertisers_.push_back(std::make_unique<ble::BleAdvertiser>(
+        scheduler_, medium_, pos, cfg, std::move(rng)));
+    ble::BleAdvertiser* a = ble_advertisers_.back().get();
+
+    if (!b.auto_start_) continue;
+    ble::BleAdvertiser::PayloadProvider provider =
+        b.make_provider_ ? b.make_provider_(i)
+                         : [] { return Bytes(16, 0xA5); };
+    if (b.stagger_) {
+      const auto start_us = static_cast<std::int64_t>(
+          (static_cast<std::uint64_t>(i) * period_us) /
+          static_cast<std::uint64_t>(n));
+      scheduler_.schedule_at(TimePoint{usec(start_us)},
+                             [a, provider = std::move(provider)] {
+                               a->start(std::move(provider));
+                             });
+    } else {
+      a->start(std::move(provider));
+    }
+  }
+
+  const int n_gw = b.n_gateways_
+                       ? *b.n_gateways_
+                       : (n > 0 ? std::max(1, n / std::max(1, b.gateway_every_)) : 0);
+  ble_scanners_.reserve(static_cast<std::size_t>(n_gw));
+  for (int k = 0; k < n_gw; ++k) {
+    const double c = (k + 0.5) * extent / n_gw;  // along the diagonal
+    const Position pos = b.place_gateway_ ? b.place_gateway_(k) : Position{c, c};
+    ble_scanners_.push_back(
+        std::make_unique<ble::BleScanner>(scheduler_, medium_, pos));
+    ble_scanners_.back()->set_callback(
+        [this, k](const ble::AdvertisingPdu& pdu, double rssi) {
+          ++messages_;
+          if (user_on_adv_) user_on_adv_(k, pdu, rssi);
+        });
+  }
+
+  if (!telemetry_enabled_) return;
+  registry_.bind_counter_fn("scheduler.events_run",
+                            [this] { return scheduler_.events_run(); });
+  registry_.bind_gauge_fn("scheduler.pending_events", [this] {
+    return static_cast<double>(scheduler_.pending_events());
+  });
+  registry_.bind_gauge_fn("sim.time_us", [this] {
+    return static_cast<double>(scheduler_.now().since_epoch().count());
+  });
+  medium_.publish_metrics(registry_);
+  registry_.bind_counter_fn("fleet.messages", [this] { return messages_; });
+  registry_.bind_gauge_fn("fleet.devices", [this] {
+    return static_cast<double>(ble_advertisers_.size());
+  });
+  registry_.bind_gauge_fn("fleet.gateways", [this] {
+    return static_cast<double>(ble_scanners_.size());
+  });
+
+  if (b.sample_period_) {
+    sampler_ = std::make_unique<telemetry::PeriodicSampler<Scheduler>>(
+        scheduler_, registry_, *b.sample_period_);
+    sampler_->start();
+  }
+}
+
+// TxMode::Ble on the sharded engine: same shard striping as the Wi-LE
+// parallel path (assignment is a pure function of position and shard
+// count), with per-shard accepted-PDU tallies.
+void Scenario::build_ble_parallel(const ScenarioBuilder& b) {
+  const int n = b.n_devices_;
+  const std::size_t n_shards = b.shards_;
+  const int side =
+      n > 0 ? static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) : 1;
+  const double extent = std::max(side * b.spacing_m_, 1.0);
+  const auto period_us =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     b.period_)
+                                     .count());
+
+  Rng medium_master{b.medium_seed_};
+  shard_runtimes_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    ShardRuntime rt;
+    rt.scheduler = std::make_unique<Scheduler>();
+    rt.medium = std::make_unique<Medium>(*rt.scheduler, phy::Channel{b.channel_},
+                                         medium_master.fork());
+    if (b.loss_floor_) rt.medium->set_loss_floor(*b.loss_floor_);
+    shard_runtimes_.push_back(std::move(rt));
+  }
+  ShardRouter partition{n_shards, 0.0, extent};
+
+  Rng master{b.master_seed_};
+  ble_advertisers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ble::BleAdvertiserConfig cfg = b.ble_opts_.advertiser;
+    cfg.address = MacAddress::from_seed(0xB1E0'0000u + static_cast<std::uint64_t>(i) + 1);
+    cfg.adv_interval = b.period_;
+    cfg.adv_delay_max = b.ble_opts_.adv_delay_max;
+
+    const Position pos = b.place_device_
+                             ? b.place_device_(i)
+                             : Position{(i % side) * b.spacing_m_,
+                                        (i / side) * b.spacing_m_};
+    Rng rng = master.fork();
+    ShardRuntime& rt = shard_runtimes_[partition.shard_of(pos.x_m)];
+    ble_advertisers_.push_back(std::make_unique<ble::BleAdvertiser>(
+        *rt.scheduler, *rt.medium, pos, cfg, std::move(rng)));
+    ble::BleAdvertiser* a = ble_advertisers_.back().get();
+
+    if (!b.auto_start_) continue;
+    ble::BleAdvertiser::PayloadProvider provider =
+        b.make_provider_ ? b.make_provider_(i)
+                         : [] { return Bytes(16, 0xA5); };
+    if (b.stagger_) {
+      const auto start_us = static_cast<std::int64_t>(
+          (static_cast<std::uint64_t>(i) * period_us) /
+          static_cast<std::uint64_t>(n));
+      rt.scheduler->schedule_at(TimePoint{usec(start_us)},
+                                [a, provider = std::move(provider)] {
+                                  a->start(std::move(provider));
+                                });
+    } else {
+      a->start(std::move(provider));
+    }
+  }
+
+  const int n_gw = b.n_gateways_
+                       ? *b.n_gateways_
+                       : (n > 0 ? std::max(1, n / std::max(1, b.gateway_every_)) : 0);
+  ble_scanners_.reserve(static_cast<std::size_t>(n_gw));
+  for (int k = 0; k < n_gw; ++k) {
+    const double c = (k + 0.5) * extent / n_gw;  // along the diagonal
+    const Position pos = b.place_gateway_ ? b.place_gateway_(k) : Position{c, c};
+    ShardRuntime& rt = shard_runtimes_[partition.shard_of(pos.x_m)];
+    ble_scanners_.push_back(
+        std::make_unique<ble::BleScanner>(*rt.scheduler, *rt.medium, pos));
+    ble_scanners_.back()->set_callback(
+        [this, k, counter = &rt.messages](const ble::AdvertisingPdu& pdu,
+                                          double rssi) {
+          ++*counter;
+          if (user_on_adv_) user_on_adv_(k, pdu, rssi);
+        });
+  }
+
+  std::vector<ParallelEngine::Shard> shards;
+  shards.reserve(n_shards);
+  for (auto& rt : shard_runtimes_) {
+    shards.push_back(ParallelEngine::Shard{rt.scheduler.get(), rt.medium.get()});
+  }
+  engine_ = std::make_unique<ParallelEngine>(std::move(shards), 0.0, extent,
+                                             b.window_, b.threads_);
+
+  if (!telemetry_enabled_) return;
+  registry_.bind_counter_fn("scheduler.events_run", [this] { return events_run(); });
+  registry_.bind_gauge_fn("sim.time_us", [this] {
+    return static_cast<double>(now().since_epoch().count());
+  });
+  registry_.bind_counter_fn("medium.transmissions",
+                            [this] { return medium_stats().transmissions; });
+  registry_.bind_counter_fn("medium.deliveries",
+                            [this] { return medium_stats().deliveries; });
+  registry_.bind_counter_fn("medium.collision_losses",
+                            [this] { return medium_stats().collision_losses; });
+  registry_.bind_counter_fn("medium.channel_losses",
+                            [this] { return medium_stats().channel_losses; });
+  registry_.bind_counter_fn("fleet.messages", [this] { return messages(); });
+  registry_.bind_gauge_fn("fleet.devices", [this] {
+    return static_cast<double>(ble_advertisers_.size());
+  });
+  registry_.bind_gauge_fn("fleet.gateways", [this] {
+    return static_cast<double>(ble_scanners_.size());
+  });
+  registry_.bind_gauge_fn("parallel.threads", [this] {
+    return static_cast<double>(engine_->threads());
+  });
+  registry_.bind_gauge_fn("parallel.shards", [this] {
+    return static_cast<double>(shard_runtimes_.size());
+  });
+  registry_.bind_gauge_fn("parallel.window_us", [this] {
+    return static_cast<double>(engine_->window().count());
+  });
 }
 
 Scenario::~Scenario() = default;
@@ -555,7 +870,12 @@ void Scenario::schedule_rules_poll(Duration every) {
 }
 
 void Scenario::stop_all() {
-  for (auto& s : senders_) s->stop_duty_cycle();
+  for (auto& s : senders_) {
+    s->stop_duty_cycle();
+    s->disarm_wur();
+  }
+  for (auto& a : ble_advertisers_) a->stop();
+  if (wur_ap_) wur_ap_->stop();
 }
 
 }  // namespace wile::sim

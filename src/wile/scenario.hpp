@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "ap/wur_scheduler.hpp"
+#include "ble/advertiser.hpp"
 #include "sim/chaos.hpp"
 #include "sim/fault.hpp"
 #include "sim/invariants.hpp"
@@ -47,10 +49,43 @@
 #include "wile/receiver.hpp"
 #include "wile/rules/engine.hpp"
 #include "wile/sender.hpp"
+#include "wile/tx_mode.hpp"
 
 namespace wile::sim {
 
 class ScenarioBuilder;
+
+/// Mode-preset options for TxMode::Wur fleets. The preset gives every
+/// device a WUR companion receiver, arms it instead of starting a duty
+/// cycle, and stands up one AP-side WurScheduler that owns the wake
+/// cadence (round-robin unicast by default, one group wake per cadence
+/// when group_id is set).
+struct WurFleetOptions {
+  ap::WurSchedulerConfig scheduler{};
+  /// Wake cadence: one full unicast sweep of the fleet (or one group
+  /// wake) per this period. Zero = the builder's duty_cycle() period.
+  Duration cadence{};
+  /// Non-zero: every device joins this group and the AP sends one
+  /// multicast wake per cadence instead of sweeping unicast WUR IDs.
+  std::uint16_t group_id = 0;
+  /// Companion-receiver model applied to every device.
+  power::WurReceiverModel receiver{};
+  /// AP position; unset = center of the device grid.
+  std::optional<Position> ap_position;
+};
+
+/// Mode-preset options for TxMode::Ble fleets: every device becomes a
+/// BleAdvertiser on the builder's duty_cycle() period and every gateway
+/// slot becomes a BleScanner.
+struct BleFleetOptions {
+  /// Template advertiser config; the preset overrides address (derived
+  /// per device), adv_interval (duty_cycle) and adv_delay_max (below).
+  ble::BleAdvertiserConfig advertiser{};
+  /// Spec advDelay bound (see BleAdvertiserConfig::adv_delay_max).
+  /// The preset default keeps the full 10 ms the spec prescribes —
+  /// pure-ALOHA contention is dishonest without it.
+  Duration adv_delay_max = msec(10);
+};
 
 /// A fully assembled simulation: scheduler, medium, Wi-LE device fleet,
 /// gateway receivers, and the telemetry pipeline bound over all of them.
@@ -108,6 +143,19 @@ class Scenario {
   [[nodiscard]] std::vector<std::unique_ptr<core::Receiver>>& gateways() {
     return receivers_;
   }
+  /// The transmission mode this scenario was built with.
+  [[nodiscard]] TxMode tx_mode() const { return mode_; }
+  /// BLE fleets (mode(TxMode::Ble)): advertisers replace devices() and
+  /// scanners replace gateways(). Empty in the other modes.
+  [[nodiscard]] std::vector<std::unique_ptr<ble::BleAdvertiser>>& ble_devices() {
+    return ble_advertisers_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<ble::BleScanner>>& ble_scanners() {
+    return ble_scanners_;
+  }
+  /// WUR fleets (mode(TxMode::Wur)): the AP-side wake scheduler that owns
+  /// the fleet cadence. Null in the other modes.
+  [[nodiscard]] ap::WurScheduler* wur_ap() { return wur_ap_.get(); }
   /// Messages delivered across all gateway receivers (deduplicated per
   /// receiver, summed over receivers — matches the legacy benches'
   /// shared counter). In parallel mode each shard counts its own
@@ -143,6 +191,8 @@ class Scenario {
   friend class ScenarioBuilder;
   Scenario(const ScenarioBuilder& b);
   void build_parallel(const ScenarioBuilder& b);
+  void build_ble(const ScenarioBuilder& b);
+  void build_ble_parallel(const ScenarioBuilder& b);
   void require_serial(const char* what) const;
 
   /// One shard's event core plus its message tally. The schedulers and
@@ -168,9 +218,14 @@ class Scenario {
   std::uint64_t fault_seed_ = 0;
   std::vector<std::unique_ptr<core::Sender>> senders_;
   std::vector<std::unique_ptr<core::Receiver>> receivers_;
+  TxMode mode_ = TxMode::WiLeBeacon;
+  std::vector<std::unique_ptr<ble::BleAdvertiser>> ble_advertisers_;
+  std::vector<std::unique_ptr<ble::BleScanner>> ble_scanners_;
+  std::unique_ptr<ap::WurScheduler> wur_ap_;
   std::unique_ptr<rules::Engine> rules_engine_;
   std::uint64_t messages_ = 0;
   core::Receiver::MessageCallback user_on_message_;
+  std::function<void(int, const ble::AdvertisingPdu&, double)> user_on_adv_;
 
   void schedule_rules_poll(Duration every);
 };
@@ -181,6 +236,38 @@ class ScenarioBuilder {
  public:
   /// Number of Wi-LE sender devices (grid-placed, ids 1..n by default).
   ScenarioBuilder& devices(int n) { n_devices_ = n; return *this; }
+  // --- transmission mode ------------------------------------------------------
+  /// The unified mode preset (default TxMode::WiLeBeacon, which keeps
+  /// every pre-existing scenario bit-identical). The preset owns the
+  /// cross-cutting defaults for its fleet:
+  ///   WiLeBeacon — Senders on local duty-cycle timers + gateway
+  ///                Receivers (the historical wiring, unchanged).
+  ///   Ble        — BleAdvertisers on the same duty-cycle period (plus
+  ///                spec advDelay) + BleScanners at the gateway slots.
+  ///   Wur        — Senders with WUR companion receivers, armed and
+  ///                deep-sleeping; one AP WurScheduler drives the wake
+  ///                cadence; gateway Receivers unchanged.
+  ScenarioBuilder& mode(TxMode m) { mode_ = m; return *this; }
+  /// Tune the Wur preset (implies mode(TxMode::Wur)).
+  ScenarioBuilder& wur(WurFleetOptions opts) {
+    mode_ = TxMode::Wur;
+    wur_opts_ = std::move(opts);
+    return *this;
+  }
+  /// Tune the Ble preset (implies mode(TxMode::Ble)).
+  ScenarioBuilder& ble(BleFleetOptions opts) {
+    mode_ = TxMode::Ble;
+    ble_opts_ = std::move(opts);
+    return *this;
+  }
+  /// Ble mode: callback for every advertising PDU a scanner accepts
+  /// (scanner index, PDU, RSSI). The aggregate messages() counter counts
+  /// accepted PDUs regardless.
+  ScenarioBuilder& on_adv(
+      std::function<void(int, const ble::AdvertisingPdu&, double)> cb) {
+    on_adv_ = std::move(cb);
+    return *this;
+  }
   /// Grid pitch for default placement (square grid, row-major).
   ScenarioBuilder& grid_spacing_m(double m) { spacing_m_ = m; return *this; }
   /// One gateway receiver per this many devices (min 1 gateway), placed
@@ -311,6 +398,13 @@ class ScenarioBuilder {
     rules_poll_period_ = period;
     return *this;
   }
+  /// Named payload decoder for the rules engine, resolved through
+  /// ExtractorRegistry::global() at build time (see
+  /// wile/rules/extractors.hpp). Default: the registry's "u16le".
+  ScenarioBuilder& rules_extractor(std::string name) {
+    rules_extractor_ = std::move(name);
+    return *this;
+  }
 
   // --- telemetry knobs -------------------------------------------------------
   /// Master switch. Disabled = no metrics are registered at all: zero
@@ -340,6 +434,10 @@ class ScenarioBuilder {
   friend class Scenario;
 
   int n_devices_ = 0;
+  TxMode mode_ = TxMode::WiLeBeacon;
+  WurFleetOptions wur_opts_{};
+  BleFleetOptions ble_opts_{};
+  std::function<void(int, const ble::AdvertisingPdu&, double)> on_adv_;
   double spacing_m_ = 5.0;
   int gateway_every_ = 2500;
   std::optional<int> n_gateways_;
@@ -367,6 +465,7 @@ class ScenarioBuilder {
   std::function<void(int, const core::SendReport&)> on_send_report_;
   std::vector<rules::RuleSpec> rules_;
   std::optional<Duration> rules_poll_period_;
+  std::optional<std::string> rules_extractor_;
   bool telemetry_ = true;
   bool per_node_ = true;
   bool trace_ = false;

@@ -14,6 +14,9 @@ constexpr const char* kPhaseInit = "MC/WiFi init";
 constexpr const char* kPhaseTx = "Tx";
 constexpr const char* kPhaseRxWindow = "RxWindow";
 constexpr const char* kPhaseBrownOut = "BrownOut";
+/// Deep sleep with the 802.11ba companion receiver listening: the main
+/// radio is off, the uW overlay is the only draw above deep-sleep.
+constexpr const char* kPhaseWurListen = "WurListen";
 }  // namespace
 
 Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position position,
@@ -62,10 +65,26 @@ Sender::Sender(sim::Scheduler& scheduler, sim::Medium& medium, sim::Position pos
   prototype.ies.add(dot11::make_ds_param_ie(6));
   body_prefix_ = prototype.encode();
 
-  timeline_.set_current(scheduler_.now(), config_.power.deep_sleep, kPhaseSleep);
+  if (config_.wur) {
+    // Companion receiver: derive the 12-bit WUR ID when unset and hang
+    // the always-on listen draw over every future timeline segment.
+    if (config_.wur->wur_id == 0) {
+      config_.wur->wur_id =
+          static_cast<std::uint16_t>(config_.device_id) & phy::WurPhy::kMaxId;
+    }
+    tracker_.set_overlay(config_.wur->receiver.listen);
+    tracker_.set_phase(config_.power.deep_sleep, kPhaseWurListen);
+  } else {
+    timeline_.set_current(scheduler_.now(), config_.power.deep_sleep, kPhaseSleep);
+  }
 }
 
 bool Sender::rx_enabled() const {
+  if (config_.wur && phase_ == Phase::DeepSleep) {
+    // The uW companion receiver listens whenever the main radio sleeps —
+    // unless a brown-out darkened the whole board.
+    return !recovering_ && !medium_.transmitting(node_id_);
+  }
   return phase_ == Phase::RxWindow && !medium_.transmitting(node_id_);
 }
 
@@ -85,6 +104,53 @@ void Sender::start_duty_cycle(PayloadProvider provider, SendCallback per_cycle) 
 }
 
 void Sender::stop_duty_cycle() { duty_cycling_ = false; }
+
+void Sender::arm_wur(PayloadProvider provider, SendCallback per_cycle) {
+  if (!config_.wur) {
+    throw std::logic_error("wile::Sender: arm_wur requires SenderConfig::wur");
+  }
+  if (!provider) throw std::invalid_argument("wile::Sender: null payload provider");
+  wur_armed_ = true;
+  provider_ = std::move(provider);
+  per_cycle_ = std::move(per_cycle);
+}
+
+void Sender::on_wakeup_frame(const phy::WakeUpFrame& wake) {
+  const WurCompanionConfig& wur = *config_.wur;
+  std::optional<std::uint8_t>& last_seq =
+      wake.group_addressed ? last_group_wake_seq_ : last_unicast_wake_seq_;
+  const bool addressed_here =
+      wake.group_addressed ? (wur.group_id != 0 && wake.address == wur.group_id)
+                           : wake.address == wur.wur_id;
+  if (!addressed_here || !wur_armed_ || (last_seq && *last_seq == wake.seq)) {
+    // Someone else's wake, a disarmed companion, or a reliability repeat
+    // of a frame this device already acted on.
+    ++wur_frames_ignored_;
+    return;
+  }
+  last_seq = wake.seq;
+  if (governor_) {
+    // Same wake gate as the periodic duty cycle: a cycle the capacitor
+    // cannot fund would brown out mid-flight.
+    const Joules need{config_.harvesting->wake_margin * estimated_cycle_cost().value};
+    if (!governor_->can_afford(need)) {
+      ++cycles_skipped_energy_;
+      return;
+    }
+  }
+  ++wur_wakes_total_;
+  // Companion decode + wake-interrupt latency, then the normal cycle.
+  const std::uint64_t epoch = cycle_epoch_;
+  scheduler_.schedule_in(wur.receiver.wake_latency, [this, epoch] {
+    if (epoch != cycle_epoch_) return;        // browned out in the gap
+    if (phase_ != Phase::DeepSleep) return;   // already mid-cycle
+    if (!will_retransmit()) trace_instant(telemetry::Phase::Sample);
+    Bytes data = will_retransmit() ? Bytes{} : provider_();
+    begin_cycle(std::move(data), [this](const SendReport& report) {
+      if (per_cycle_) per_cycle_(report);
+    });
+  });
+}
 
 Duration Sender::jittered_period() {
   double period_us = static_cast<double>(config_.period.count());
@@ -444,7 +510,8 @@ void Sender::finish_cycle() {
   scheduler_.schedule_in(config_.power.shutdown_time, [this, epoch] {
     if (epoch != cycle_epoch_) return;  // browned out during shutdown
     phase_ = Phase::DeepSleep;
-    tracker_.set_phase(config_.power.deep_sleep, kPhaseSleep);
+    tracker_.set_phase(config_.power.deep_sleep,
+                       config_.wur ? kPhaseWurListen : kPhaseSleep);
     // A capacitor that ran dry during shutdown browns out here; the
     // cycle's work is done, so only the recharge wait is at stake.
     maybe_brown_out();
@@ -524,7 +591,10 @@ void Sender::on_brown_out() {
   }
   recovering_ = true;
   brown_out_at_ = scheduler_.now();
-  tracker_.set_phase(Amps{0.0}, kPhaseBrownOut);  // dark: not even sleep current
+  // Dark: not even sleep current, and the WUR companion receiver dies
+  // with the rest of the board (its overlay must not keep integrating).
+  if (config_.wur) tracker_.set_overlay(Amps{0.0});
+  tracker_.set_phase(Amps{0.0}, kPhaseBrownOut);
   schedule_resume();
 }
 
@@ -558,7 +628,9 @@ void Sender::resume_cycle() {
     return;
   }
   recovering_ = false;
-  tracker_.set_phase(config_.power.deep_sleep, kPhaseSleep);
+  if (config_.wur) tracker_.set_overlay(config_.wur->receiver.listen);
+  tracker_.set_phase(config_.power.deep_sleep,
+                     config_.wur ? kPhaseWurListen : kPhaseSleep);
   trace_instant(telemetry::Phase::Recharge);
   if (recharge_hist_ != nullptr) {
     recharge_hist_->record(
@@ -608,6 +680,15 @@ void Sender::resume_cycle() {
 }
 
 void Sender::on_frame(const sim::RxFrame& frame) {
+  if (config_.wur && phase_ == Phase::DeepSleep) {
+    // Only the companion receiver is powered: the sole thing it can
+    // decode is a 6-byte OOK wake-up frame. Everything else on the air
+    // is energy the envelope detector discards.
+    if (auto wake = phy::decode_wakeup_frame(frame.mpdu.view())) {
+      on_wakeup_frame(*wake);
+    }
+    return;
+  }
   if (phase_ != Phase::RxWindow) return;
   auto parsed = dot11::parse_mpdu(frame.mpdu);
   if (!parsed || !parsed->fcs_ok) return;
@@ -693,6 +774,10 @@ void Sender::publish_metrics(telemetry::MetricsRegistry& registry,
   registry.bind_counter(prefix + ".adapt.tier_clears", &tier_clears_);
   registry.bind_counter(prefix + ".adapt.tier_decays", &tier_decays_);
   registry.bind_counter(prefix + ".reliable.dropped_unacked", &dropped_unacked_);
+  if (config_.wur) {
+    registry.bind_counter(prefix + ".wur.wakes", &wur_wakes_total_);
+    registry.bind_counter(prefix + ".wur.frames_ignored", &wur_frames_ignored_);
+  }
   registry.bind_gauge_fn(prefix + ".adapt.tier",
                          [this] { return static_cast<double>(tier_); });
   // Integrated energy since simulation start. PowerTimeline folds old

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "phy/airtime.hpp"
+#include "phy/wur_phy.hpp"
 #include "power/devices.hpp"
 #include "power/harvester.hpp"
 #include "power/radio_tracker.hpp"
@@ -107,6 +108,21 @@ struct HarvestingConfig {
   Duration max_checkpoint_age = minutes(5);
 };
 
+/// 802.11ba wake-up radio companion (the third transmission mode beside
+/// Wi-LE duty cycles and BLE advertising). The main 802.11 radio stays
+/// in deep sleep while a uW-class OOK companion receiver listens
+/// continuously; an AP wake-up frame addressed to this device's WUR ID
+/// (or one of its groups) triggers one full wake->inject->sleep cycle.
+/// The listen draw rides the power timeline as an always-on overlay, so
+/// the Harvester/EnergyGovernor see it and a brown-out darkens it.
+struct WurCompanionConfig {
+  /// 12-bit WUR ID this companion answers to. 0 = derive from device_id.
+  std::uint16_t wur_id = 0;
+  /// Group membership for multicast wakes; 0 = no group.
+  std::uint16_t group_id = 0;
+  power::WurReceiverModel receiver{};
+};
+
 struct SenderConfig {
   std::uint32_t device_id = 1;
   /// Locally-administered MAC the fake beacons claim as their BSSID.
@@ -184,6 +200,11 @@ struct SenderConfig {
   /// HarvestingConfig). Absent = the legacy infinite supply.
   std::optional<HarvestingConfig> harvesting;
 
+  /// 802.11ba wake-up radio companion receiver. Absent = no companion
+  /// circuit; set, it enables arm_wur() and adds the uW listen draw to
+  /// every power-timeline segment.
+  std::optional<WurCompanionConfig> wur;
+
   power::Esp32PowerProfile power{};
 
   /// Bound on the power timeline's retained segment history (0 =
@@ -238,6 +259,15 @@ class Sender : public sim::MediumClient {
   /// whatever `provider` returns. `per_cycle` fires after each cycle.
   void start_duty_cycle(PayloadProvider provider, SendCallback per_cycle = {});
   void stop_duty_cycle();
+
+  /// 802.11ba duty model: arm the wake-up companion receiver and stay in
+  /// deep sleep. Every AP wake-up frame matching this device's WUR ID or
+  /// group triggers one wake->inject->sleep cycle transmitting whatever
+  /// `provider` returns (uplink rides the normal Wi-LE beacon path).
+  /// Requires config.wur. There is no periodic timer — the AP owns the
+  /// cadence.
+  void arm_wur(PayloadProvider provider, SendCallback per_cycle = {});
+  void disarm_wur() { wur_armed_ = false; }
 
   /// Deliver Downlink messages received during announced RX windows.
   void set_downlink_callback(DownlinkCallback cb) { downlink_cb_ = std::move(cb); }
@@ -312,6 +342,18 @@ class Sender : public sim::MediumClient {
   /// Charge budget the wake gate compares against (one nominal cycle at
   /// the active tier, margins excluded). Exposed for benches/tests.
   [[nodiscard]] Joules estimated_cycle_cost() const;
+
+  // --- WUR observability ------------------------------------------------------
+  /// Wake-up frames that matched this device and triggered a cycle.
+  [[nodiscard]] std::uint64_t wur_wakes() const { return wur_wakes_total_; }
+  /// Decoded wake-up frames addressed elsewhere (or stale repeats).
+  [[nodiscard]] std::uint64_t wur_frames_ignored() const {
+    return wur_frames_ignored_;
+  }
+  /// Effective (derived) 12-bit WUR ID; 0 when config.wur is absent.
+  [[nodiscard]] std::uint16_t wur_id() const {
+    return config_.wur ? config_.wur->wur_id : 0;
+  }
 
   /// TX power draw (P_tx of Eq. 1) for this device profile.
   [[nodiscard]] Watts tx_power_draw() const {
@@ -478,6 +520,15 @@ class Sender : public sim::MediumClient {
   bool duty_cycling_ = false;
   PayloadProvider provider_;
   SendCallback per_cycle_;
+
+  // --- 802.11ba wake-up companion ---------------------------------------------
+  void on_wakeup_frame(const phy::WakeUpFrame& wake);
+  bool wur_armed_ = false;
+  std::uint64_t wur_wakes_total_ = 0;
+  std::uint64_t wur_frames_ignored_ = 0;
+  /// Sequence dedupe for repeated wake frames (per address kind).
+  std::optional<std::uint8_t> last_unicast_wake_seq_;
+  std::optional<std::uint8_t> last_group_wake_seq_;
 
   DownlinkCallback downlink_cb_;
 };

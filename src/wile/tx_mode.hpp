@@ -1,0 +1,38 @@
+// The unified transmission-mode axis of the testbed.
+//
+// Three ways for a battery-class device to get a reading out, each a
+// first-class ScenarioBuilder preset (ScenarioBuilder::mode) that owns
+// the cross-cutting defaults previously smeared across SenderConfig,
+// BleAdvertiserConfig and per-bench hand wiring:
+//
+//   WiLeBeacon — the paper's contribution: wake on a local timer,
+//                inject one fake 802.11 beacon, sleep. Uplink-only,
+//                CSMA-polite, no infrastructure in the loop.
+//   Ble        — ADV_NONCONN_IND advertising on a local timer (the
+//                related-work baseline; pure ALOHA, no carrier sense).
+//   Wur        — IEEE 802.11ba: the device deep-sleeps behind a uW
+//                wake-up receiver and transmits only when the AP's
+//                wake-up frame polls it; the AP owns the cadence.
+#pragma once
+
+namespace wile {
+
+enum class TxMode {
+  WiLeBeacon,
+  Ble,
+  Wur,
+};
+
+constexpr const char* to_string(TxMode mode) {
+  switch (mode) {
+    case TxMode::WiLeBeacon:
+      return "wile_beacon";
+    case TxMode::Ble:
+      return "ble";
+    case TxMode::Wur:
+      return "wur";
+  }
+  return "?";
+}
+
+}  // namespace wile

@@ -224,6 +224,87 @@ TEST(Determinism, ShardedEngineIsRepeatable) {
   EXPECT_EQ(a, b);
 }
 
+// The WUR mode on the sharded engine: the AP lives on one shard and its
+// wake frames reach companions on every other shard through the same
+// boundary-phantom path data frames use (RemoteTx carries the rate-less
+// OOK waveform's explicit airtime). Wake order, companion RNG streams
+// and the woken devices' uplinks must all be functions of the shard
+// layout alone, never of the thread count.
+RunResult run_sharded_wur_scenario(unsigned threads) {
+  auto scenario = sim::ScenarioBuilder{}
+                      .devices(100)
+                      .grid_spacing_m(4.0)
+                      .gateways(4)
+                      .duty_cycle(seconds(5))
+                      .wake_jitter(msec(200))
+                      .seed(0xD7E7E241ULL)
+                      .medium_seed(0xD37E12)
+                      .wur(sim::WurFleetOptions{})
+                      .threads(threads)
+                      .shards(8)
+                      .window(msec(10))
+                      .telemetry(false)
+                      .build();
+
+  auto& gateways = scenario->gateways();
+  std::vector<Digest> digests(gateways.size());
+  for (std::size_t k = 0; k < gateways.size(); ++k) {
+    gateways[k]->set_message_callback(
+        [slot = &digests[k]](const Message& m, const RxMeta& meta) {
+          slot->add(m.device_id);
+          slot->add(m.sequence);
+          slot->add_bytes(m.data);
+          slot->add(static_cast<std::uint64_t>(meta.received_at.us()));
+        });
+  }
+
+  scenario->run_for(seconds(30));
+  scenario->stop_all();
+
+  RunResult result;
+  result.medium_stats = scenario->medium_stats();
+  Digest combined;
+  for (const Digest& d : digests) combined.add(d.value());
+  combined.add(scenario->wur_ap()->wakes_sent());
+  for (const auto& s : scenario->devices()) combined.add(s->wur_wakes());
+  result.message_digest = combined.value();
+  for (const auto& gw : gateways) result.messages += gw->stats().messages;
+  result.events_run = scenario->events_run();
+  for (const auto& s : scenario->devices()) {
+    result.total_energy_j +=
+        s->timeline().energy_between(TimePoint{}, TimePoint{seconds(30)}).value;
+  }
+  return result;
+}
+
+TEST(Determinism, WurShardedEngineIsThreadCountIndependent) {
+  const RunResult one = run_sharded_wur_scenario(1);
+  const RunResult two = run_sharded_wur_scenario(2);
+  const RunResult four = run_sharded_wur_scenario(4);
+
+  // Traffic sanity first: the AP must actually be waking companions.
+  EXPECT_GT(one.medium_stats.transmissions, 100u);
+  EXPECT_GT(one.messages, 50u);
+
+  for (const RunResult* other : {&two, &four}) {
+    EXPECT_EQ(one.medium_stats.transmissions, other->medium_stats.transmissions);
+    EXPECT_EQ(one.medium_stats.deliveries, other->medium_stats.deliveries);
+    EXPECT_EQ(one.medium_stats.collision_losses,
+              other->medium_stats.collision_losses);
+    EXPECT_EQ(one.medium_stats.channel_losses, other->medium_stats.channel_losses);
+    EXPECT_EQ(one.message_digest, other->message_digest);
+    EXPECT_EQ(one.messages, other->messages);
+    EXPECT_EQ(one.events_run, other->events_run);
+    EXPECT_EQ(one.total_energy_j, other->total_energy_j);  // bit-exact, not NEAR
+  }
+}
+
+TEST(Determinism, WurShardedEngineIsRepeatable) {
+  const RunResult a = run_sharded_wur_scenario(2);
+  const RunResult b = run_sharded_wur_scenario(2);
+  EXPECT_EQ(a, b);
+}
+
 TEST(Determinism, ScenarioActuallyExercisesTheMedium) {
   // Guard against the scenario silently degenerating (e.g. everyone out
   // of range): the digests above are only meaningful if traffic flowed

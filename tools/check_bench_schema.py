@@ -17,7 +17,13 @@ silently reshaped file):
   * the ingest_throughput verdict (BENCH_ingest_throughput*.json) —
     batched gateway drain vs the pre-refactor single-send pipeline,
     which must hold the >= 3x sustained-frames/s speedup, dispatch
-    no-regression, and a passing dual-run determinism oracle.
+    no-regression, and a passing dual-run determinism oracle;
+  * the ablate_wur contention study (BENCH_ablate_wur*.json) — the
+    massive-IoT energy/latency/delivery frontier across the three
+    transmission modes (wile_beacon / ble / wur), which must cover all
+    three modes up to >= 1000 contending stations, stay monotone
+    (delivery ratio non-increasing with station count, per mode), show
+    a uW-class WUR listen draw, and pass the dual-run oracle.
 
 Usage: check_bench_schema.py FILE [FILE...]
 Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
@@ -75,6 +81,14 @@ INGEST_TOP_REQUIRED = ["bench", "quick", "batch_max", "drain_senders",
                        "dispatch_baseline_fps", "dispatch_pipeline_fps",
                        "dispatch_speedup", "dispatch_reports",
                        "rules_eval_fps", "rules_fired", "determinism_ok"]
+
+WUR_TOP_REQUIRED = ["bench", "quick", "sim_seconds", "period_seconds",
+                    "grid_spacing_m", "wur_listen_uw", "rows",
+                    "monotone_frontier", "determinism_ok"]
+WUR_ROW_REQUIRED = ["mode", "stations", "expected", "delivered",
+                    "delivery_ratio", "energy_per_msg_uj", "avg_device_uw",
+                    "mean_latency_ms", "digest"]
+WUR_MODES = ("wile_beacon", "ble", "wur")
 
 
 def fail(errors, msg):
@@ -291,6 +305,61 @@ def check_ingest(doc, errors):
         fail(errors, "determinism oracle failed: same-seed runs diverged")
 
 
+def check_wur(doc, errors):
+    for key in WUR_TOP_REQUIRED:
+        if key not in doc:
+            fail(errors, f"missing top-level key {key!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(errors, "rows missing or empty")
+    for i, row in enumerate(rows):
+        for key in WUR_ROW_REQUIRED:
+            if key not in row:
+                fail(errors, f"rows[{i}] missing {key!r}")
+    if errors:
+        return
+
+    by_mode = {}
+    for i, row in enumerate(rows):
+        mode = row["mode"]
+        if mode not in WUR_MODES:
+            fail(errors, f"rows[{i}] has unknown mode {mode!r}")
+            continue
+        by_mode.setdefault(mode, []).append(row)
+        if row["expected"] <= 0 or row["delivered"] <= 0:
+            fail(errors, f"rows[{i}] ({mode}, n={row['stations']}) saw no "
+                         "traffic — broken run?")
+    for mode in WUR_MODES:
+        if mode not in by_mode:
+            fail(errors, f"mode {mode!r} missing from the frontier")
+    if errors:
+        return
+
+    # The contention frontier per mode: delivery ratio must not *rise*
+    # as stations are added (the bench allows a 2% slack for CSMA
+    # scheduling noise before declaring the frontier broken), and the
+    # massive-IoT claim needs at least one >= 1000-station point.
+    for mode, mode_rows in by_mode.items():
+        for prev, cur in zip(mode_rows, mode_rows[1:]):
+            if cur["stations"] <= prev["stations"]:
+                fail(errors, f"{mode} rows not sorted by station count")
+            if cur["delivery_ratio"] > prev["delivery_ratio"] + 0.02:
+                fail(errors, f"{mode} delivery rises at n={cur['stations']} "
+                             "— frontier not monotone")
+        if max(r["stations"] for r in mode_rows) < 1000:
+            fail(errors, f"{mode} frontier stops short of 1000 stations")
+
+    # The tentpole power claim: the 802.11ba companion receiver listens
+    # at uW class, visible in the power accounting (not a spec constant).
+    if not 0.0 < doc["wur_listen_uw"] < 1000.0:
+        fail(errors, f"wur_listen_uw={doc['wur_listen_uw']} is not uW-class "
+                     "(want 0 < x < 1000)")
+    if doc["monotone_frontier"] is not True:
+        fail(errors, "monotone_frontier is not true")
+    if doc["determinism_ok"] is not True:
+        fail(errors, "determinism oracle failed: same-seed digests differ")
+
+
 def check_file(path):
     errors = []
     try:
@@ -309,11 +378,14 @@ def check_file(path):
         check_chaos_soak(doc, errors)
     elif doc.get("bench") == "ingest_throughput":
         check_ingest(doc, errors)
+    elif doc.get("bench") == "ablate_wur":
+        check_wur(doc, errors)
     else:
         errors.append("unrecognized document: not wile-telemetry-v1, "
                       "a scale_fleet runs table, an ablate_harvesting "
-                      "frontier, a chaos_soak summary, or an "
-                      "ingest_throughput verdict")
+                      "frontier, a chaos_soak summary, an "
+                      "ingest_throughput verdict, or an ablate_wur "
+                      "contention study")
     return errors
 
 
